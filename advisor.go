@@ -1,0 +1,98 @@
+package rodentstore
+
+import (
+	"fmt"
+	"strings"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/optimizer"
+	"rodentstore/internal/table"
+	"rodentstore/internal/transforms"
+)
+
+// WorkloadQuery is one entry of an advisor workload: the access pattern of
+// a query class and its relative frequency.
+type WorkloadQuery struct {
+	// Fields the query reads (nil = all).
+	Fields []string
+	// Where is the query's range predicate (same syntax as Query.Where).
+	Where string
+	// Weight is the relative frequency (default 1).
+	Weight float64
+}
+
+// Advice is the storage design optimizer's recommendation (paper §5).
+type Advice struct {
+	// Layout is the recommended storage-algebra expression.
+	Layout string
+	// EstimatedMs is the predicted total workload cost.
+	EstimatedMs float64
+	// Alternatives lists every explored design, best first.
+	Alternatives []AdviceCandidate
+}
+
+// AdviceCandidate is one explored design.
+type AdviceCandidate struct {
+	Layout      string
+	EstimatedMs float64
+}
+
+// Advise runs the storage design optimizer over the table's current data
+// and the given workload, returning the recommended layout expression. Use
+// AlterLayout to apply it.
+func (db *DB) Advise(name string, workload []WorkloadQuery) (Advice, error) {
+	if len(workload) == 0 {
+		return Advice{}, fmt.Errorf("rodentstore: empty workload")
+	}
+	tab, err := db.cat.Get(name)
+	if err != nil {
+		return Advice{}, err
+	}
+	// Sample the stored data for statistics. A few thousand rows suffice
+	// for widths, ranges and codec ratios.
+	cur, err := db.eng.Scan(name, table.ScanOptions{})
+	if err != nil {
+		return Advice{}, err
+	}
+	defer cur.Close()
+	var rows []Row
+	for len(rows) < 20000 {
+		r, ok, err := cur.Next()
+		if err != nil {
+			return Advice{}, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return Advice{}, fmt.Errorf("rodentstore: table %q is empty; load data before advising", name)
+	}
+	stats := optimizer.CollectStats(transforms.Relation{Schema: cur.Schema(), Rows: rows}, 4000)
+	stats.RowCount = tab.RowCount // scale sample stats to the full table
+
+	w := optimizer.Workload{}
+	for _, q := range workload {
+		oq := optimizer.Query{Fields: q.Fields, Weight: q.Weight}
+		if strings.TrimSpace(q.Where) != "" {
+			pred, err := algebra.ParsePredicate(q.Where)
+			if err != nil {
+				return Advice{}, err
+			}
+			oq.Pred = pred
+		}
+		w.Queries = append(w.Queries, oq)
+	}
+	opts := optimizer.DefaultOptions()
+	opts.PageSize = db.file.PayloadSize()
+	rec, err := optimizer.Recommend(name, stats, w, CostModel(), opts)
+	if err != nil {
+		return Advice{}, err
+	}
+	out := Advice{Layout: rec.Expr, EstimatedMs: rec.Ms}
+	for _, c := range rec.Candidates {
+		out.Alternatives = append(out.Alternatives, AdviceCandidate{Layout: c.Expr, EstimatedMs: c.Ms})
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package rodentstore
+
+import (
+	"fmt"
+	"strings"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/cost"
+	"rodentstore/internal/table"
+	"rodentstore/internal/value"
+)
+
+// CreateTable registers a table with a logical schema and a storage-algebra
+// layout expression (validated immediately; rendered on Load).
+func (db *DB) CreateTable(name string, fields []Field, layout string) error {
+	schema, err := value.NewSchema(fields...)
+	if err != nil {
+		return err
+	}
+	return db.eng.Create(name, schema, layout)
+}
+
+// DropTable removes a table and frees its storage.
+func (db *DB) DropTable(name string) error { return db.eng.Drop(name) }
+
+// Tables lists table names.
+func (db *DB) Tables() []string { return db.cat.Names() }
+
+// SchemaOf returns the logical schema of a table.
+func (db *DB) SchemaOf(name string) ([]Field, error) {
+	tab, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := tab.Schema()
+	if err != nil {
+		return nil, err
+	}
+	return s.Fields, nil
+}
+
+// LayoutOf returns the table's current layout expression.
+func (db *DB) LayoutOf(name string) (string, error) {
+	tab, err := db.cat.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return tab.LayoutExpr, nil
+}
+
+// RowCount returns the number of logical rows stored.
+func (db *DB) RowCount(name string) (int64, error) { return db.eng.RowCount(name) }
+
+// Load bulk-loads rows into an empty table, rendering its layout.
+func (db *DB) Load(name string, rows []Row) error { return db.eng.Load(name, rows) }
+
+// Insert appends rows as an unorganized tail batch (paper §5's "reorganize
+// only new data"); Reorganize merges tails into the main layout.
+func (db *DB) Insert(name string, rows []Row) error { return db.eng.Insert(name, rows) }
+
+// Reorganize re-renders the table under its current (or pending) layout.
+func (db *DB) Reorganize(name string) error { return db.eng.Reorganize(name) }
+
+// AlterLayout switches the table to a new layout expression. With
+// eager=true the data is rewritten immediately; otherwise lazily on next
+// access (paper §5's reorganization strategies).
+func (db *DB) AlterLayout(name, layout string, eager bool) error {
+	mode := table.ReorgLazy
+	if eager {
+		mode = table.ReorgEager
+	}
+	return db.eng.AlterLayout(name, layout, mode)
+}
+
+// Query describes a scan: optional projection, filter and order
+// (the paper's scan(table, [fieldlist, predicate, order])).
+type Query struct {
+	// Fields projects the output; nil selects every stored field.
+	Fields []string
+	// Where is a conjunctive range predicate, e.g.
+	// `lat >= 42.3 and lat < 42.4 and id = "car-7"`.
+	Where string
+	// OrderBy requests a sort order, e.g. "t" or "lat desc, lon".
+	// Orders matching the stored order stream; others re-sort.
+	OrderBy string
+}
+
+func (q Query) toOptions() (table.ScanOptions, error) {
+	var opts table.ScanOptions
+	opts.Fields = q.Fields
+	if strings.TrimSpace(q.Where) != "" {
+		pred, err := algebra.ParsePredicate(q.Where)
+		if err != nil {
+			return opts, err
+		}
+		opts.Pred = pred
+	}
+	if strings.TrimSpace(q.OrderBy) != "" {
+		keys, err := algebra.ParseOrderBy(q.OrderBy)
+		if err != nil {
+			return opts, err
+		}
+		opts.Order = keys
+	}
+	return opts, nil
+}
+
+// Cursor iterates scan results (the paper's next()).
+type Cursor struct {
+	inner *table.Cursor
+}
+
+// Next returns the next row; ok=false at the end.
+func (c *Cursor) Next() (Row, bool, error) { return c.inner.Next() }
+
+// Schema returns the cursor's output schema.
+func (c *Cursor) Schema() []Field { return c.inner.Schema().Fields }
+
+// Close releases the cursor.
+func (c *Cursor) Close() { c.inner.Close() }
+
+// All drains the cursor into a slice.
+func (c *Cursor) All() ([]Row, error) {
+	var out []Row
+	for {
+		r, ok, err := c.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// Scan opens a cursor over the table (paper §4.1 scan).
+func (db *DB) Scan(name string, q Query) (*Cursor, error) {
+	opts, err := q.toOptions()
+	if err != nil {
+		return nil, err
+	}
+	cur, err := db.eng.Scan(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{inner: cur}, nil
+}
+
+// GetElement positions a cursor at the element at index (paper §4.1):
+// one index = position in stored order; for a gridded table, one index per
+// grid dimension addresses a cell. Next continues in stored order.
+func (db *DB) GetElement(name string, fields []string, index ...int64) (*Cursor, error) {
+	cur, err := db.eng.GetElement(name, fields, index)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{inner: cur}, nil
+}
+
+// CostEstimate is a predicted I/O footprint with its milliseconds estimate
+// under the default device model (paper §4.1 scan_cost/getElement_cost).
+type CostEstimate struct {
+	Ms    float64
+	Pages uint64
+	Seeks uint64
+	Rows  int64
+}
+
+func toCostEstimate(e cost.Estimate) CostEstimate {
+	return CostEstimate{Ms: cost.DefaultModel().Ms(e), Pages: e.Pages, Seeks: e.Seeks, Rows: e.Rows}
+}
+
+// ScanCost estimates the cost of a scan without running it.
+func (db *DB) ScanCost(name string, q Query) (CostEstimate, error) {
+	opts, err := q.toOptions()
+	if err != nil {
+		return CostEstimate{}, err
+	}
+	est, err := db.eng.EstimateScan(name, opts)
+	if err != nil {
+		return CostEstimate{}, err
+	}
+	return toCostEstimate(est), nil
+}
+
+// GetElementCost estimates the cost of a getElement call.
+func (db *DB) GetElementCost(name string, fields []string, index ...int64) (CostEstimate, error) {
+	est, err := db.eng.EstimateGet(name, fields, index)
+	if err != nil {
+		return CostEstimate{}, err
+	}
+	return toCostEstimate(est), nil
+}
+
+// OrderList returns the sort orders the current organization serves
+// efficiently (paper §4.1 order_list), formatted like OrderBy inputs;
+// gridded tables additionally report their cell curve, e.g.
+// "zorder(lat,lon)".
+func (db *DB) OrderList(name string) ([]string, error) {
+	orders, err := db.eng.OrderList(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, keys := range orders {
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k.String()
+		}
+		out = append(out, strings.Join(parts, ", "))
+	}
+	grid, err := db.eng.GridOrder(name)
+	if err != nil {
+		return nil, err
+	}
+	if grid != "" {
+		out = append(out, grid)
+	}
+	return out, nil
+}
+
+// ValidateLayout checks a layout expression against a table's schema
+// without applying it.
+func (db *DB) ValidateLayout(name, layout string) error {
+	tab, err := db.cat.Get(name)
+	if err != nil {
+		return err
+	}
+	_ = tab
+	expr, err := algebra.Parse(layout)
+	if err != nil {
+		return err
+	}
+	base, err := algebra.BaseOf(expr)
+	if err != nil {
+		return err
+	}
+	if base != name {
+		return fmt.Errorf("rodentstore: layout is for table %q, not %q", base, name)
+	}
+	schemas, err := db.cat.Schemas()
+	if err != nil {
+		return err
+	}
+	_, err = algebra.Infer(expr, schemas)
+	return err
+}
+
+// CreateIndex builds a secondary B+tree index over a stored field (paper
+// §1: RodentStore includes B+trees as supporting machinery). Indexes
+// describe one rendering of the data: Insert, Reorganize, AlterLayout and
+// Load drop them — rebuild afterwards.
+func (db *DB) CreateIndex(table, field string) error { return db.eng.CreateIndex(table, field) }
+
+// DropIndex removes a secondary index.
+func (db *DB) DropIndex(table, field string) error { return db.eng.DropIndex(table, field) }
+
+// Indexes lists a table's indexed fields.
+func (db *DB) Indexes(table string) ([]string, error) { return db.eng.Indexes(table) }
+
+// IndexScan answers a query through the secondary index on indexField: the
+// predicate's bounds on that field drive a B+tree range lookup, and only the
+// blocks holding matching rows are fetched. Other conjuncts are
+// post-filtered.
+func (db *DB) IndexScan(table string, q Query, indexField string) (*Cursor, error) {
+	opts, err := q.toOptions()
+	if err != nil {
+		return nil, err
+	}
+	cur, err := db.eng.IndexScan(table, opts.Fields, opts.Pred, indexField)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{inner: cur}, nil
+}

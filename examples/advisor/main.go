@@ -1,0 +1,91 @@
+// Advisor: the storage design optimizer of the paper's §5 — give it a
+// workload, get back the algebra expression minimizing estimated cost, and
+// watch measured I/O agree with the prediction's ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rodentstore"
+	"rodentstore/internal/cartel"
+)
+
+func main() {
+	path := filepath.Join(os.TempDir(), "advisor.rdnt")
+	os.Remove(path)
+	os.Remove(path + ".wal")
+	db, err := rodentstore.Create(path, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	defer os.Remove(path)
+	defer os.Remove(path + ".wal")
+
+	if err := db.CreateTable("Traces", []rodentstore.Field{
+		{Name: "t", Type: rodentstore.Int},
+		{Name: "lat", Type: rodentstore.Float},
+		{Name: "lon", Type: rodentstore.Float},
+		{Name: "id", Type: rodentstore.String},
+	}, "rows(Traces)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Load("Traces", cartel.Generate(cartel.DefaultConfig(100_000))); err != nil {
+		log.Fatal(err)
+	}
+
+	where := "lat >= 42.352 and lat < 42.364 and lon >= -71.099 and lon < -71.086"
+	workloads := []struct {
+		name    string
+		queries []rodentstore.WorkloadQuery
+	}{
+		{"spatial dashboard (window queries on lat/lon)", []rodentstore.WorkloadQuery{
+			{Fields: []string{"lat", "lon"}, Where: where, Weight: 100},
+		}},
+		{"fleet report (project one column, full scans)", []rodentstore.WorkloadQuery{
+			{Fields: []string{"id"}, Weight: 100},
+		}},
+		{"time-range audits", []rodentstore.WorkloadQuery{
+			{Where: "t >= 1000 and t < 2000", Weight: 100},
+		}},
+	}
+
+	for _, w := range workloads {
+		advice, err := db.Advise("Traces", w.queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %s\n", w.name)
+		fmt.Printf("  recommended: %s\n", advice.Layout)
+		fmt.Printf("  estimated:   %.1f ms total\n", advice.EstimatedMs)
+		fmt.Println("  runner-ups:")
+		for _, c := range advice.Alternatives[1:4] {
+			fmt.Printf("    %10.1f ms  %s\n", c.EstimatedMs, c.Layout)
+		}
+
+		// Apply and measure the first workload query for real.
+		if err := db.AlterLayout("Traces", advice.Layout, true); err != nil {
+			log.Fatal(err)
+		}
+		db.ResetIOStats()
+		q := w.queries[0]
+		cur, err := db.Scan("Traces", rodentstore.Query{Fields: q.Fields, Where: q.Where})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := cur.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := db.IOStats()
+		fmt.Printf("  measured:    %d pages, %d seeks, %d rows\n\n", s.PageReads, s.Seeks, len(rows))
+
+		// Reset to the naive layout for the next round.
+		if err := db.AlterLayout("Traces", "rows(Traces)", true); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Geospatial: the paper's §6 case study end to end — CarTel-style GPS
+// traces stored under the five physical designs N1..N4 plus an R-tree
+// comparison, measuring pages read per spatial window query (a miniature
+// Figure 2; run cmd/rsbench -exp fig2 for the full experiment).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rodentstore"
+	"rodentstore/internal/bench"
+	"rodentstore/internal/cartel"
+)
+
+func main() {
+	// Mini Figure 2 through the experiment harness.
+	dir, err := os.MkdirTemp("", "rodent-geo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := bench.DefaultConfig(dir)
+	cfg.N = 100_000
+	cfg.Queries = 20
+	fmt.Printf("CarTel case study: %d observations, %d queries covering 1%% of greater Boston\n\n", cfg.N, cfg.Queries)
+	results, err := bench.Figure2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-26s %12s %12s %10s\n", "layout", "pages/query", "seeks/query", "ms/query")
+	for _, r := range results {
+		fmt.Printf("%-26s %12.0f %12.0f %10.2f\n", r.Name, r.PagesQuery, r.SeeksQuery, r.MsQuery)
+	}
+
+	// The same layouts through the public API, showing how a DBA would
+	// actually evolve a live table's physical design.
+	fmt.Println("\nEvolving one table through the designs with AlterLayout:")
+	path := filepath.Join(dir, "traces.rdnt")
+	db, err := rodentstore.Create(path, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.CreateTable("Traces", []rodentstore.Field{
+		{Name: "t", Type: rodentstore.Int},
+		{Name: "lat", Type: rodentstore.Float},
+		{Name: "lon", Type: rodentstore.Float},
+		{Name: "id", Type: rodentstore.String},
+	}, "rows(Traces)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Load("Traces", cartel.Generate(cartel.DefaultConfig(50_000))); err != nil {
+		log.Fatal(err)
+	}
+
+	where := "lat >= 42.352 and lat < 42.364 and lon >= -71.099 and lon < -71.086"
+	measure := func(layout string) {
+		if err := db.AlterLayout("Traces", layout, true); err != nil {
+			log.Fatal(err)
+		}
+		db.ResetIOStats()
+		cur, err := db.Scan("Traces", rodentstore.Query{Fields: []string{"lat", "lon"}, Where: where})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := cur.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := db.IOStats()
+		fmt.Printf("  %4d pages %3d seeks %6d rows  <- %s\n", s.PageReads, s.Seeks, len(rows), layout)
+	}
+	measure("rows(Traces)")
+	measure("project[lat,lon](groupby[id](orderby[t](Traces)))")
+
+	// The projected layout physically dropped t and id — a further
+	// re-layout that orders by t cannot be derived from what is stored.
+	// RodentStore reports this instead of silently corrupting data:
+	err = db.AlterLayout("Traces", "zorder(grid[lat,lon; 64,64](project[lat,lon](groupby[id](orderby[t](Traces)))))", true)
+	fmt.Printf("  re-layout needing dropped fields: %v\n", err)
+
+	// Reload the full-width data to continue evolving the design (each
+	// projected layout drops columns, so later pipelines that reference
+	// them need the original data again).
+	reload := func() {
+		if err := db.DropTable("Traces"); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.CreateTable("Traces", []rodentstore.Field{
+			{Name: "t", Type: rodentstore.Int},
+			{Name: "lat", Type: rodentstore.Float},
+			{Name: "lon", Type: rodentstore.Float},
+			{Name: "id", Type: rodentstore.String},
+		}, "rows(Traces)"); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Load("Traces", cartel.Generate(cartel.DefaultConfig(50_000))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	reload()
+	measure("zorder(grid[lat,lon; 64,64](project[lat,lon](groupby[id](orderby[t](Traces)))))")
+	reload()
+	measure("delta[lat,lon](zorder(grid[lat,lon; 64,64](project[lat,lon](groupby[id](orderby[t](Traces))))))")
+}

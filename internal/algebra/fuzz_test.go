@@ -1,0 +1,112 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rodentstore/internal/value"
+)
+
+func intLit(v int64) value.Value     { return value.NewInt(v) }
+func floatLit(v float64) value.Value { return value.NewFloat(v) }
+func strLit(s string) value.Value    { return value.NewString(s) }
+
+func TestParsePrintFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	fields := []string{"alpha", "beta", "gamma", "delta_f"}
+	for trial := 0; trial < 500; trial++ {
+		e := genExprSafe(r, fields, 1+r.Intn(4))
+		text := e.String()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, text, err)
+		}
+		if parsed.String() != text {
+			t.Fatalf("trial %d: fixpoint broken:\n  orig: %s\n  back: %s", trial, text, parsed.String())
+		}
+	}
+}
+
+// genExprSafe is genExpr minus the Select node (predicates carry literals,
+// generated separately below to keep this generator total).
+func genExprSafe(r *rand.Rand, fields []string, depth int) Expr {
+	for {
+		e := tryGen(r, fields, depth)
+		if e != nil {
+			return e
+		}
+	}
+}
+
+func tryGen(r *rand.Rand, fields []string, depth int) Expr {
+	if depth <= 0 {
+		return &Base{Name: "T"}
+	}
+	in := func() Expr { return genExprSafe(r, fields, depth-1) }
+	pick := func() string { return fields[r.Intn(len(fields))] }
+	pickN := func(n int) []string {
+		perm := r.Perm(len(fields))
+		out := make([]string, 0, n)
+		for _, i := range perm[:n] {
+			out = append(out, fields[i])
+		}
+		return out
+	}
+	switch r.Intn(13) {
+	case 0:
+		return &Rows{Input: in()}
+	case 1:
+		return &Cols{Input: in()}
+	case 2:
+		return &Project{Fields: pickN(1 + r.Intn(len(fields))), Input: in()}
+	case 3:
+		return &ColGroups{Groups: [][]string{pickN(1 + r.Intn(2)), {fmt.Sprintf("zzz%d", r.Intn(100))}}, Input: in()}
+	case 4:
+		return &OrderBy{Keys: []OrderKey{{Field: pick(), Desc: r.Intn(2) == 0}}, Input: in()}
+	case 5:
+		return &GroupBy{Fields: pickN(1), Input: in()}
+	case 6:
+		return &Limit{N: r.Intn(1000), Input: in()}
+	case 7:
+		return &Fold{Values: pickN(1), By: []string{fmt.Sprintf("k%d", r.Intn(10))}, Input: in()}
+	case 8:
+		return &Compress{Codec: []string{"delta", "rle", "dict", "bitpack"}[r.Intn(4)], Fields: pickN(1), Input: in()}
+	case 9:
+		return &Grid{Dims: []GridDim{{Field: pick(), Cells: 1 + r.Intn(256)}, {Field: pick(), Cells: 1 + r.Intn(256)}}, Input: in()}
+	case 10:
+		return &Curve{Kind: []CurveKind{CurveZOrder, CurveHilbert, CurveRowMajor}[r.Intn(3)], Input: &Grid{Dims: []GridDim{{Field: pick(), Cells: 8}}, Input: in()}}
+	case 11:
+		return &Chunk{N: 1 + r.Intn(10000), Input: in()}
+	default:
+		return &Transpose{Input: in()}
+	}
+}
+
+func TestPredicatePrintParseFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for trial := 0; trial < 300; trial++ {
+		p := True
+		for i := 0; i <= r.Intn(4); i++ {
+			field := fmt.Sprintf("f%d", r.Intn(5))
+			op := ops[r.Intn(len(ops))]
+			switch r.Intn(3) {
+			case 0:
+				p = p.And(field, op, intLit(r.Int63n(1e9)-5e8))
+			case 1:
+				p = p.And(field, op, floatLit(r.NormFloat64()*1000))
+			default:
+				p = p.And(field, op, strLit(fmt.Sprintf("s%d", r.Intn(100))))
+			}
+		}
+		text := p.String()
+		back, err := ParsePredicate(text)
+		if err != nil {
+			t.Fatalf("trial %d: ParsePredicate(%q): %v", trial, text, err)
+		}
+		if back.String() != text {
+			t.Fatalf("trial %d: fixpoint broken: %q vs %q", trial, text, back.String())
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package algebra
+
+import (
+	"fmt"
+
+	"rodentstore/internal/value"
+)
+
+// Infer computes the output schema of an expression given the base-table
+// schemas, validating field references, types, and operator composition
+// along the way. For Fold, nested value groups surface as a single List
+// field named after the folded attributes.
+func Infer(e Expr, schemas map[string]*value.Schema) (*value.Schema, error) {
+	switch n := e.(type) {
+	case *Base:
+		s, ok := schemas[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("algebra: unknown table %q", n.Name)
+		}
+		return s, nil
+
+	case *Rows:
+		return Infer(n.Input, schemas)
+	case *Cols:
+		return Infer(n.Input, schemas)
+
+	case *Project:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := in.Project(n.Fields)
+		return out, err
+
+	case *ColGroups:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Groups) == 0 {
+			return nil, fmt.Errorf("algebra: colgroup needs at least one group")
+		}
+		seen := make(map[string]bool)
+		var all []string
+		for _, g := range n.Groups {
+			for _, f := range g {
+				if seen[f] {
+					return nil, fmt.Errorf("algebra: colgroup lists %q twice", f)
+				}
+				seen[f] = true
+				all = append(all, f)
+			}
+		}
+		// Unlisted fields are kept: they form a trailing catch-all group, so
+		// colgroup reorders the schema but never drops attributes.
+		for _, f := range in.Fields {
+			if !seen[f.Name] {
+				all = append(all, f.Name)
+			}
+		}
+		out, _, err := in.Project(all)
+		return out, err
+
+	case *Select:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Pred.Validate(in); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case *OrderBy:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range n.Keys {
+			if in.Index(k.Field) < 0 {
+				return nil, fmt.Errorf("algebra: orderby references unknown field %q", k.Field)
+			}
+		}
+		return in, nil
+
+	case *GroupBy:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range n.Fields {
+			if in.Index(f) < 0 {
+				return nil, fmt.Errorf("algebra: groupby references unknown field %q", f)
+			}
+		}
+		return in, nil
+
+	case *Limit:
+		return Infer(n.Input, schemas)
+
+	case *Fold:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		var fields []value.Field
+		for _, f := range n.By {
+			i := in.Index(f)
+			if i < 0 {
+				return nil, fmt.Errorf("algebra: fold by references unknown field %q", f)
+			}
+			fields = append(fields, in.Fields[i])
+		}
+		for _, f := range n.Values {
+			if in.Index(f) < 0 {
+				return nil, fmt.Errorf("algebra: fold values references unknown field %q", f)
+			}
+			if contains(n.By, f) {
+				return nil, fmt.Errorf("algebra: fold field %q cannot be both value and key", f)
+			}
+		}
+		fields = append(fields, value.Field{Name: foldedFieldName(n.Values), Type: value.List})
+		return value.NewSchema(fields...)
+
+	case *Unfold:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		// Unfold requires the input to be folded: last field must be a List.
+		if in.Arity() == 0 || in.Fields[in.Arity()-1].Type != value.List {
+			return nil, fmt.Errorf("algebra: unfold requires a folded input (trailing list field)")
+		}
+		// Recover the flat schema from the fold node below: the group keys
+		// keep their places and the folded list expands back into the value
+		// fields with their pre-fold types.
+		fold := findFoldNode(n.Input)
+		if fold == nil {
+			return nil, fmt.Errorf("algebra: unfold requires a fold in its input")
+		}
+		preFold, err := Infer(fold.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		fields := append([]value.Field(nil), in.Fields[:in.Arity()-1]...)
+		for _, v := range fold.Values {
+			i := preFold.Index(v)
+			if i < 0 {
+				return nil, fmt.Errorf("algebra: unfold: fold value %q missing below", v)
+			}
+			fields = append(fields, preFold.Fields[i])
+		}
+		return value.NewSchema(fields...)
+
+	case *Prejoin:
+		left, err := Infer(n.Left, schemas)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Infer(n.Right, schemas)
+		if err != nil {
+			return nil, err
+		}
+		if left.Index(n.JoinAttr) < 0 || right.Index(n.JoinAttr) < 0 {
+			return nil, fmt.Errorf("algebra: prejoin attribute %q missing from an input", n.JoinAttr)
+		}
+		var fields []value.Field
+		fields = append(fields, left.Fields...)
+		for _, f := range right.Fields {
+			if f.Name == n.JoinAttr {
+				continue // joined attribute appears once
+			}
+			if left.Index(f.Name) >= 0 {
+				f.Name = "r_" + f.Name
+			}
+			fields = append(fields, f)
+		}
+		return value.NewSchema(fields...)
+
+	case *Compress:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range n.Fields {
+			i := in.Index(f)
+			if i < 0 {
+				return nil, fmt.Errorf("algebra: %s references unknown field %q", n.Codec, f)
+			}
+			ft := in.Fields[i].Type
+			switch n.Codec {
+			case "delta":
+				if ft != value.Int && ft != value.Float {
+					return nil, fmt.Errorf("algebra: delta requires numeric field, %q is %s", f, ft)
+				}
+			case "bitpack":
+				if ft != value.Int {
+					return nil, fmt.Errorf("algebra: bitpack requires int field, %q is %s", f, ft)
+				}
+			}
+		}
+		return in, nil
+
+	case *Grid:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Dims) == 0 {
+			return nil, fmt.Errorf("algebra: grid needs at least one dimension")
+		}
+		for _, d := range n.Dims {
+			i := in.Index(d.Field)
+			if i < 0 {
+				return nil, fmt.Errorf("algebra: grid references unknown field %q", d.Field)
+			}
+			if t := in.Fields[i].Type; t != value.Int && t != value.Float {
+				return nil, fmt.Errorf("algebra: grid dimension %q must be numeric, is %s", d.Field, t)
+			}
+			if d.Cells <= 0 {
+				return nil, fmt.Errorf("algebra: grid dimension %q has %d cells", d.Field, d.Cells)
+			}
+		}
+		return in, nil
+
+	case *Curve:
+		in, err := Infer(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Kind {
+		case CurveRowMajor, CurveZOrder, CurveHilbert:
+		default:
+			return nil, fmt.Errorf("algebra: unknown curve %q", n.Kind)
+		}
+		// A curve must (eventually) order grid cells.
+		if !hasGridBelow(n.Input) {
+			return nil, fmt.Errorf("algebra: %s requires a grid input", n.Kind)
+		}
+		return in, nil
+
+	case *Transpose:
+		return Infer(n.Input, schemas)
+
+	case *Chunk:
+		if n.N <= 0 {
+			return nil, fmt.Errorf("algebra: chunk size %d", n.N)
+		}
+		return Infer(n.Input, schemas)
+
+	default:
+		return nil, fmt.Errorf("algebra: unknown expression node %T", e)
+	}
+}
+
+// foldedFieldName names the List field produced by a Fold.
+func foldedFieldName(values []string) string {
+	name := "folded"
+	for _, v := range values {
+		name += "_" + v
+	}
+	return name
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func hasGridBelow(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) {
+		if _, ok := x.(*Grid); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+func findFoldNode(e Expr) *Fold {
+	var found *Fold
+	Walk(e, func(x Expr) {
+		if f, ok := x.(*Fold); ok && found == nil {
+			found = f
+		}
+	})
+	return found
+}

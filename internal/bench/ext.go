@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rodentstore/internal/cartel"
+	"rodentstore/internal/cost"
+	"rodentstore/internal/optimizer"
+	"rodentstore/internal/table"
+	"rodentstore/internal/transforms"
+	"rodentstore/internal/value"
+)
+
+// CurveSeeks (Ext-1) quantifies the N3→N3′ step of the case study: the same
+// grid stored along row-major, z-order and Hilbert curves. The paper: "we
+// reorder the cells on disk using a space-filling curve in order to minimize
+// the disk seek times".
+func CurveSeeks(cfg Config) ([]Result, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	queries := cartel.Queries(cfg.Queries, cfg.AreaFraction, cfg.Seed+100)
+	g := cfg.GridCells
+	layouts := []struct{ Name, Layout string }{
+		{"rowmajor", fmt.Sprintf("chunk[64](rowmajor(grid[lat,lon; %d,%d](project[lat,lon](Traces))))", g, g)},
+		{"zorder", fmt.Sprintf("chunk[64](zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces))))", g, g)},
+		{"hilbert", fmt.Sprintf("chunk[64](hilbert(grid[lat,lon; %d,%d](project[lat,lon](Traces))))", g, g)},
+	}
+	var out []Result
+	for _, l := range layouts {
+		e, err := loadLayout(cfg, "curve", l.Layout, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runQueries(e, "Traces", queries, []string{"lat", "lon"})
+		e.close()
+		if err != nil {
+			return nil, err
+		}
+		r.Name, r.Layout = l.Name, l.Layout
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// GridCellSweep (Ext-2) sweeps the grid resolution: too few cells scan
+// excess data, too many add per-cell overhead and seeks — the granularity
+// question §4.2 leaves open.
+func GridCellSweep(cfg Config, cellCounts []int) ([]Result, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	queries := cartel.Queries(cfg.Queries, cfg.AreaFraction, cfg.Seed+100)
+	var out []Result
+	for _, cells := range cellCounts {
+		layout := fmt.Sprintf("chunk[64](zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces))))", cells, cells)
+		e, err := loadLayout(cfg, "cells", layout, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runQueries(e, "Traces", queries, []string{"lat", "lon"})
+		e.close()
+		if err != nil {
+			return nil, err
+		}
+		r.Name = fmt.Sprintf("%dx%d", cells, cells)
+		r.Layout = layout
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PageSizeSweep (Ext-3) varies the disk page size under the N4 layout —
+// "What is the appropriate disk page size to use?" (paper §4.2).
+func PageSizeSweep(cfg Config, pageSizes []int) ([]Result, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	queries := cartel.Queries(cfg.Queries, cfg.AreaFraction, cfg.Seed+100)
+	g := cfg.GridCells
+	layout := fmt.Sprintf("chunk[64](delta[lat,lon](zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces)))))", g, g)
+	var out []Result
+	for _, ps := range pageSizes {
+		c := cfg
+		c.PageSize = ps
+		e, err := loadLayout(c, "pagesize", layout, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runQueries(e, "Traces", queries, []string{"lat", "lon"})
+		e.close()
+		if err != nil {
+			return nil, err
+		}
+		r.Name = fmt.Sprintf("%dB pages", ps)
+		r.Layout = layout
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Codecs (Ext-4) isolates the compression step of the case study (N3′→N4):
+// the same z-ordered grid with different column codecs.
+func Codecs(cfg Config) ([]Result, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	queries := cartel.Queries(cfg.Queries, cfg.AreaFraction, cfg.Seed+100)
+	g := cfg.GridCells
+	base := fmt.Sprintf("zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces)))", g, g)
+	layouts := []struct{ Name, Layout string }{
+		{"none", "chunk[64](" + base + ")"},
+		{"delta", "chunk[64](delta[lat,lon](" + base + "))"},
+		{"rle", "chunk[64](rle[lat,lon](" + base + "))"},
+	}
+	var out []Result
+	for _, l := range layouts {
+		e, err := loadLayout(cfg, "codec", l.Layout, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runQueries(e, "Traces", queries, []string{"lat", "lon"})
+		e.close()
+		if err != nil {
+			return nil, err
+		}
+		r.Name, r.Layout = l.Name, l.Layout
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FoldResult is one fold-rendering measurement.
+type FoldResult struct {
+	Rows       int
+	Keys       int
+	HashMs     float64
+	NestedMs   float64
+	Speedup    float64
+	OutputRows int
+}
+
+// FoldRender (Ext-5) times the two fold implementations of §4.2: the
+// paper's Algorithm 1 (nested loops) against the hash-join-like rendering.
+func FoldRender(sizes []int, keys int) []FoldResult {
+	var out []FoldResult
+	for _, n := range sizes {
+		schema := value.MustSchema(
+			value.Field{Name: "a", Type: value.Int},
+			value.Field{Name: "b", Type: value.Int},
+		)
+		r := rand.New(rand.NewSource(7))
+		rows := make([]value.Row, n)
+		for i := range rows {
+			rows[i] = value.Row{value.NewInt(int64(r.Intn(keys))), value.NewInt(int64(i))}
+		}
+		rel := transforms.Relation{Schema: schema, Rows: rows}
+
+		start := time.Now()
+		h, _ := transforms.FoldHash(rel, []string{"b"}, []string{"a"})
+		hashMs := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		transforms.FoldNestedLoop(rel, []string{"b"}, []string{"a"})
+		nestedMs := float64(time.Since(start).Microseconds()) / 1000
+
+		fr := FoldResult{Rows: n, Keys: keys, HashMs: hashMs, NestedMs: nestedMs, OutputRows: len(h.Rows)}
+		if hashMs > 0 {
+			fr.Speedup = nestedMs / hashMs
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+// wideSchema builds the Ext-6 synthetic analytic table: k float measures.
+func wideSchema(k int) *value.Schema {
+	fields := make([]value.Field, k)
+	for i := range fields {
+		fields[i] = value.Field{Name: fmt.Sprintf("c%d", i), Type: value.Float}
+	}
+	return value.MustSchema(fields...)
+}
+
+// RowVsColumn (Ext-6) reproduces the DSM motivation of the paper's §1:
+// scanning one column of a wide table under row, column and hybrid layouts.
+func RowVsColumn(cfg Config, width int) ([]Result, error) {
+	schema := wideSchema(width)
+	r := rand.New(rand.NewSource(3))
+	rows := make([]value.Row, cfg.N)
+	for i := range rows {
+		row := make(value.Row, width)
+		for c := 0; c < width; c++ {
+			row[c] = value.NewFloat(r.NormFloat64())
+		}
+		rows[i] = row
+	}
+	layouts := []struct{ Name, Layout string }{
+		{"rows", "rows(Wide)"},
+		{"cols", "cols(Wide)"},
+		{"colgroup(c0,c1)", "colgroup[c0,c1](Wide)"},
+	}
+	var out []Result
+	for _, l := range layouts {
+		e, err := newEnv(cfg, "dsm")
+		if err != nil {
+			return nil, err
+		}
+		if err := e.eng.Create("Wide", schema, l.Layout); err != nil {
+			e.close()
+			return nil, err
+		}
+		if err := e.eng.Load("Wide", rows); err != nil {
+			e.close()
+			return nil, err
+		}
+		e.file.ResetStats()
+		start := time.Now()
+		cur, err := e.eng.Scan("Wide", table.ScanOptions{Fields: []string{"c0"}})
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		n := 0
+		for {
+			_, ok, err := cur.Next()
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		s := e.file.Stats()
+		res := Result{
+			Name: l.Name, Layout: l.Layout,
+			PagesQuery: float64(s.PageReads),
+			SeeksQuery: float64(s.Seeks),
+			MsQuery:    float64(time.Since(start).Microseconds()) / 1000,
+			RowsQuery:  float64(n),
+			DataPages:  e.file.NumPages(),
+		}
+		e.close()
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AdvisorQuality (Ext-7) checks §5 end to end: the optimizer's recommended
+// layout must land close to the hand-tuned N4 design on the spatial
+// workload, and far below the naive row store.
+func AdvisorQuality(cfg Config) ([]Result, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	queries := cartel.Queries(cfg.Queries, cfg.AreaFraction, cfg.Seed+100)
+
+	// Build optimizer inputs from a sample.
+	stats := optimizer.CollectStats(transforms.Relation{Schema: cartel.Schema(), Rows: rows}, 4000)
+	q0 := queries[0]
+	w := optimizer.Workload{Queries: []optimizer.Query{{
+		Fields: []string{"lat", "lon"},
+		Pred:   queryPred(q0),
+		Weight: 1,
+	}}}
+	opts := optimizer.DefaultOptions()
+	opts.PageSize = cfg.PageSize - 4
+	rec, err := optimizer.Recommend("Traces", stats, w, cost.DefaultModel(), opts)
+	if err != nil {
+		return nil, err
+	}
+
+	g := cfg.GridCells
+	layouts := []struct{ Name, Layout string }{
+		{"rows (naive)", "chunk[64](rows(Traces))"},
+		{"advised", rec.Expr},
+		{"hand-tuned N4", fmt.Sprintf("chunk[64](delta[lat,lon](zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces)))))", g, g)},
+	}
+	var out []Result
+	for _, l := range layouts {
+		e, err := loadLayout(cfg, "advisor", l.Layout, rows)
+		if err != nil {
+			return nil, fmt.Errorf("%s (%s): %w", l.Name, l.Layout, err)
+		}
+		r, err := runQueries(e, "Traces", queries, []string{"lat", "lon"})
+		e.close()
+		if err != nil {
+			return nil, err
+		}
+		r.Name, r.Layout = l.Name, l.Layout
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReorgResult is one reorganization measurement.
+type ReorgResult struct {
+	Name       string
+	PagesQuery float64
+	ReorgMs    float64
+}
+
+// Reorg (Ext-8) measures §5's reorganization strategies: query cost with
+// fresh inserts left as unorganized tails ("reorganize only new data"),
+// after an eager merge, and the rewrite cost itself.
+func Reorg(cfg Config) ([]ReorgResult, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	queries := cartel.Queries(cfg.Queries, cfg.AreaFraction, cfg.Seed+100)
+	g := cfg.GridCells
+	layout := fmt.Sprintf("chunk[64](zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces))))", g, g)
+
+	half := len(rows) / 2
+	e, err := loadLayout(cfg, "reorg", layout, rows[:half])
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	var out []ReorgResult
+	measure := func(name string, reorgMs float64) error {
+		r, err := runQueries(e, "Traces", queries, []string{"lat", "lon"})
+		if err != nil {
+			return err
+		}
+		out = append(out, ReorgResult{Name: name, PagesQuery: r.PagesQuery, ReorgMs: reorgMs})
+		return nil
+	}
+	if err := measure("loaded (organized)", 0); err != nil {
+		return nil, err
+	}
+	// Insert the second half as unorganized tail batches.
+	const batches = 8
+	per := (len(rows) - half) / batches
+	for b := 0; b < batches; b++ {
+		lo := half + b*per
+		hi := lo + per
+		if b == batches-1 {
+			hi = len(rows)
+		}
+		if err := e.eng.Insert("Traces", rows[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	if err := measure("with tails (new data unorganized)", 0); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := e.eng.Reorganize("Traces"); err != nil {
+		return nil, err
+	}
+	reorgMs := float64(time.Since(start).Microseconds()) / 1000
+	if err := measure("after eager reorganize", reorgMs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rodentstore/internal/pager"
+	"rodentstore/internal/value"
+)
+
+func newTree(t *testing.T) (*Tree, *pager.File) {
+	t.Helper()
+	f, err := pager.Create(filepath.Join(t.TempDir(), "bt.rdnt"), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	tr, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, f
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := newTree(t)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key-%02d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		vals, err := tr.Search([]byte(fmt.Sprintf("key-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != uint64(i) {
+			t.Errorf("key-%02d: %v", i, vals)
+		}
+	}
+	if vals, _ := tr.Search([]byte("missing")); len(vals) != 0 {
+		t.Errorf("missing key: %v", vals)
+	}
+}
+
+func TestInsertManyCausesSplits(t *testing.T) {
+	tr, _ := newTree(t)
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%08d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Errorf("5000 keys in 1KB pages must split: height %d", h)
+	}
+	// Every key findable.
+	for i := 0; i < n; i += 97 {
+		vals, err := tr.Search([]byte(fmt.Sprintf("k%08d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != uint64(i) {
+			t.Fatalf("key %d: %v", i, vals)
+		}
+	}
+}
+
+func TestRangeScanInOrder(t *testing.T) {
+	tr, _ := newTree(t)
+	const n = 2000
+	for _, i := range rand.New(rand.NewSource(2)).Perm(n) {
+		tr.Insert([]byte(fmt.Sprintf("k%08d", i)), uint64(i))
+	}
+	var got []uint64
+	err := tr.Range([]byte("k00000100"), []byte("k00000199"), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("range size: %d", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(100+i) {
+			t.Fatalf("range out of order at %d: %d", i, v)
+		}
+	}
+	// Unbounded hi.
+	count := 0
+	tr.Range([]byte("k00001990"), nil, func(k []byte, v uint64) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Errorf("unbounded range: %d", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Range(nil, nil, func(k []byte, v uint64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop: %d", count)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr, _ := newTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert([]byte("dup"), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert([]byte(fmt.Sprintf("other%d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := tr.Search([]byte("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 500 {
+		t.Errorf("duplicates found: %d, want 500", len(vals))
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	tr, _ := newTree(t)
+	ref := make(map[string][]uint64)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("k%04d", r.Intn(500))
+		tr.Insert([]byte(key), uint64(i))
+		ref[key] = append(ref[key], uint64(i))
+	}
+	for key, want := range ref {
+		got, err := tr.Search([]byte(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		if len(got) != len(want) {
+			t.Fatalf("key %s: %d values, want %d", key, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("key %s value %d: %d != %d", key, i, got[i], want[i])
+			}
+		}
+	}
+	// Full scan visits everything in sorted key order.
+	var keys []string
+	total := 0
+	tr.Range(nil, nil, func(k []byte, v uint64) bool {
+		keys = append(keys, string(k))
+		total++
+		return true
+	})
+	if total != 3000 {
+		t.Errorf("full scan: %d entries", total)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("full scan not in key order")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bt.rdnt")
+	f, _ := pager.Create(path, 1024)
+	tr, _ := New(f)
+	for i := 0; i < 1000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%05d", i)), uint64(i))
+	}
+	root := tr.Root()
+	f.MetaSet(5, uint64(root))
+	f.Close()
+
+	f2, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	tr2 := Open(f2, pager.PageID(f2.MetaGet(5)))
+	vals, err := tr2.Search([]byte("k00777"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 777 {
+		t.Errorf("persisted search: %v", vals)
+	}
+}
+
+func TestEncodeKeyOrderPreserving(t *testing.T) {
+	// Int keys.
+	f := func(a, b int64) bool {
+		ka, kb := EncodeKey(value.NewInt(a)), EncodeKey(value.NewInt(b))
+		cmp := bytes.Compare(ka, kb)
+		want := value.Compare(value.NewInt(a), value.NewInt(b))
+		return cmp == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Float keys (excluding NaN, which has no order).
+	g := func(a, b float64) bool {
+		if a != a || b != b {
+			return true
+		}
+		ka, kb := EncodeKey(value.NewFloat(a)), EncodeKey(value.NewFloat(b))
+		cmp := bytes.Compare(ka, kb)
+		want := value.Compare(value.NewFloat(a), value.NewFloat(b))
+		return cmp == want
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	// Mixed-sign specifics.
+	cases := [][2]float64{{-1, 1}, {-0.5, -0.25}, {0, 1e-300}, {-1e300, 1e300}}
+	for _, c := range cases {
+		if bytes.Compare(EncodeKey(value.NewFloat(c[0])), EncodeKey(value.NewFloat(c[1]))) >= 0 {
+			t.Errorf("EncodeKey order broken for %v", c)
+		}
+	}
+	// Strings and bools.
+	if bytes.Compare(EncodeKey(value.NewString("a")), EncodeKey(value.NewString("b"))) >= 0 {
+		t.Error("string keys")
+	}
+	if bytes.Compare(EncodeKey(value.NewBool(false)), EncodeKey(value.NewBool(true))) >= 0 {
+		t.Error("bool keys")
+	}
+	if EncodeKey(value.NullValue()) != nil {
+		t.Error("null key should be nil")
+	}
+}
+
+func TestIndexedLookupReadsFewPages(t *testing.T) {
+	tr, f := newTree(t)
+	for i := 0; i < 20000; i++ {
+		tr.Insert(EncodeKey(value.NewInt(int64(i))), uint64(i))
+	}
+	h, _ := tr.Height()
+	f.ResetStats()
+	vals, err := tr.Search(EncodeKey(value.NewInt(12345)))
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("search: %v %v", vals, err)
+	}
+	reads := f.Stats().PageReads
+	if reads > uint64(h)+2 {
+		t.Errorf("point lookup read %d pages for height-%d tree", reads, h)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "bt.rdnt"), 4096)
+	defer f.Close()
+	tr, _ := New(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(EncodeKey(value.NewInt(int64(i))), uint64(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "bt.rdnt"), 4096)
+	defer f.Close()
+	tr, _ := New(f)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(EncodeKey(value.NewInt(int64(i))), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(EncodeKey(value.NewInt(int64(i % 100000))))
+	}
+}

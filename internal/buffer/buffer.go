@@ -1,0 +1,244 @@
+// Package buffer implements RodentStore's shared buffer pool. The paper's
+// core motivation (§1) is that every new storage engine duplicates
+// "transaction, lock, and memory management facilities"; the buffer pool is
+// the memory-management facility shared by every layout RodentStore renders.
+//
+// The pool caches page payloads above the pager with CLOCK (second-chance)
+// eviction, pin counts, dirty tracking and write-back. Logical I/O
+// statistics for experiments are taken at the pager, so measured scans run
+// with a cold pool (or bypass it) to reproduce the paper's page counts.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"rodentstore/internal/pager"
+)
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+type frame struct {
+	id       pager.PageID
+	data     []byte
+	pins     int
+	dirty    bool
+	refbit   bool // CLOCK second-chance bit
+	occupied bool
+}
+
+// Pool is a fixed-capacity page cache. All methods are safe for concurrent
+// use.
+type Pool struct {
+	mu     sync.Mutex
+	file   *pager.File
+	frames []frame
+	index  map[pager.PageID]int // page -> frame
+	hand   int                  // CLOCK hand
+	stats  Stats
+}
+
+// NewPool creates a pool with capacity frames over file.
+func NewPool(file *pager.File, capacity int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
+	}
+	return &Pool{
+		file:   file,
+		frames: make([]frame, capacity),
+		index:  make(map[pager.PageID]int, capacity),
+	}, nil
+}
+
+// Get returns the payload of page id, reading it through the pager on a
+// miss, and pins the frame. Callers must Unpin when done. The returned
+// slice is the cached frame: callers that modify it must call MarkDirty
+// before Unpin.
+func (p *Pool) Get(id pager.PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fi, ok := p.index[id]; ok {
+		p.stats.Hits++
+		p.frames[fi].pins++
+		p.frames[fi].refbit = true
+		return p.frames[fi].data, nil
+	}
+	p.stats.Misses++
+	data, err := p.file.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	p.frames[fi] = frame{id: id, data: data, pins: 1, refbit: true, occupied: true}
+	p.index[id] = fi
+	return data, nil
+}
+
+// GetForWrite returns a pinned, writable frame for page id without reading
+// it from disk (for freshly allocated pages). The frame starts dirty.
+func (p *Pool) GetForWrite(id pager.PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fi, ok := p.index[id]; ok {
+		p.frames[fi].pins++
+		p.frames[fi].refbit = true
+		p.frames[fi].dirty = true
+		return p.frames[fi].data, nil
+	}
+	fi, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, p.file.PayloadSize())
+	p.frames[fi] = frame{id: id, data: data, pins: 1, dirty: true, refbit: true, occupied: true}
+	p.index[id] = fi
+	return data, nil
+}
+
+// victim finds a free or evictable frame with the CLOCK policy, flushing a
+// dirty victim. Caller holds p.mu.
+func (p *Pool) victim() (int, error) {
+	n := len(p.frames)
+	for spin := 0; spin < 2*n+1; spin++ {
+		fi := p.hand
+		p.hand = (p.hand + 1) % n
+		f := &p.frames[fi]
+		if !f.occupied {
+			return fi, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.refbit {
+			f.refbit = false
+			continue
+		}
+		if f.dirty {
+			if err := p.file.WritePage(f.id, f.data); err != nil {
+				return 0, err
+			}
+			p.stats.Flushes++
+		}
+		delete(p.index, f.id)
+		p.stats.Evictions++
+		f.occupied = false
+		return fi, nil
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+}
+
+// MarkDirty flags the page's frame as modified. The page must be resident
+// and pinned.
+func (p *Pool) MarkDirty(id pager.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fi, ok := p.index[id]
+	if !ok {
+		return fmt.Errorf("buffer: MarkDirty on non-resident page %d", id)
+	}
+	p.frames[fi].dirty = true
+	return nil
+}
+
+// Unpin releases one pin on page id.
+func (p *Pool) Unpin(id pager.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fi, ok := p.index[id]
+	if !ok {
+		return fmt.Errorf("buffer: Unpin on non-resident page %d", id)
+	}
+	if p.frames[fi].pins == 0 {
+		return fmt.Errorf("buffer: Unpin on unpinned page %d", id)
+	}
+	p.frames[fi].pins--
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the pager (without evicting).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.occupied && f.dirty {
+			if err := p.file.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every unpinned frame (flushing dirty ones), so the next
+// access is a cold read. Experiments call this between queries to reproduce
+// the paper's cold-cache page counts. It fails if any frame is pinned.
+func (p *Pool) Invalidate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.occupied {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: Invalidate with pinned page %d", f.id)
+		}
+		if f.dirty {
+			if err := p.file.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			p.stats.Flushes++
+		}
+		delete(p.index, f.id)
+		f.occupied = false
+	}
+	return nil
+}
+
+// Resident reports whether page id is cached (for tests).
+func (p *Pool) Resident(id pager.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.index[id]
+	return ok
+}
+
+// ReadPage returns a copy of the page payload, going through the cache.
+// It adapts the pool to segment.PageSource so table scans can run warm.
+func (p *Pool) ReadPage(id pager.PageID) ([]byte, error) {
+	data, err := p.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	if err := p.Unpin(id); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PayloadSize returns the underlying file's page payload size.
+func (p *Pool) PayloadSize() int { return p.file.PayloadSize() }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }

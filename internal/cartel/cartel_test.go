@@ -1,0 +1,118 @@
+package cartel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateCountAndBounds(t *testing.T) {
+	rows := Generate(DefaultConfig(10000))
+	if len(rows) != 10000 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i, r := range rows {
+		lat, lon := r[1].Float(), r[2].Float()
+		if lat < MinLat-0.01 || lat > MaxLat+0.01 || lon < MinLon-0.01 || lon > MaxLon+0.01 {
+			t.Fatalf("row %d out of bounds: %f %f", i, lat, lon)
+		}
+		if r[3].Str() == "" {
+			t.Fatalf("row %d empty id", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(1000))
+	b := Generate(DefaultConfig(1000))
+	for i := range a {
+		if a[i][1].Float() != b[i][1].Float() || a[i][3].Str() != b[i][3].Str() {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+	c := Generate(Config{N: 1000, Cars: 4, StepDeg: 7e-5, TripLen: 600, Seed: 99})
+	same := true
+	for i := range a {
+		if a[i][1].Float() != c[i][1].Float() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSmallIncrements(t *testing.T) {
+	// The delta-compression premise: consecutive observations of one car
+	// move by small increments (excluding trip resets).
+	cfg := DefaultConfig(20000)
+	rows := Generate(cfg)
+	lastLat := map[string]float64{}
+	small, large := 0, 0
+	for _, r := range rows {
+		id := r[3].Str()
+		lat := r[1].Float()
+		if prev, ok := lastLat[id]; ok {
+			if math.Abs(lat-prev) < 10*cfg.StepDeg {
+				small++
+			} else {
+				large++
+			}
+		}
+		lastLat[id] = lat
+	}
+	if small < 9*large {
+		t.Errorf("movement not incremental: %d small vs %d large steps", small, large)
+	}
+}
+
+func TestTimeOrdered(t *testing.T) {
+	rows := Generate(DefaultConfig(5000))
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].Int() < rows[i-1][0].Int() {
+			t.Fatal("timestamps not non-decreasing in arrival order")
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := Schema()
+	if s.String() != "t:int, lat:float, lon:float, id:string" {
+		t.Errorf("schema: %s", s)
+	}
+	if err := s.Validate(Generate(DefaultConfig(100))[0]); err != nil {
+		t.Errorf("generated rows must validate: %v", err)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	qs := Queries(200, 0.01, 7)
+	if len(qs) != 200 {
+		t.Fatalf("queries: %d", len(qs))
+	}
+	wantSideLat := math.Sqrt(0.01) * (MaxLat - MinLat)
+	for i, q := range qs {
+		if q.MinLat < MinLat || q.MaxLat > MaxLat || q.MinLon < MinLon || q.MaxLon > MaxLon {
+			t.Fatalf("query %d out of region: %+v", i, q)
+		}
+		if math.Abs((q.MaxLat-q.MinLat)-wantSideLat) > 1e-9 {
+			t.Fatalf("query %d wrong side: %f", i, q.MaxLat-q.MinLat)
+		}
+	}
+	// Deterministic per seed.
+	qs2 := Queries(200, 0.01, 7)
+	if qs[0] != qs2[0] {
+		t.Error("queries not deterministic")
+	}
+}
+
+func TestCarIDsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := carID(i)
+		if seen[id] {
+			t.Fatalf("duplicate car id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

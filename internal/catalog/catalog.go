@@ -1,0 +1,258 @@
+// Package catalog persists RodentStore's table metadata: logical schemas,
+// layout expressions (the persisted form of a physical design — recompiled
+// by the algebra interpreter on open), rendered segment locations, grid
+// bounds and reorganization state.
+//
+// The catalog serializes to JSON and lives in its own page extent inside the
+// database file; pager meta slots record the extent. Updates write a fresh
+// extent before flipping the meta slots, so a crash mid-update leaves the
+// previous catalog intact.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rodentstore/internal/pager"
+	"rodentstore/internal/segment"
+	"rodentstore/internal/value"
+)
+
+// Meta slot assignments in the pager header.
+const (
+	slotExtentStart = 0
+	slotExtentPages = 1
+	slotByteLen     = 2
+)
+
+// FieldMeta is the serialized form of a schema field.
+type FieldMeta struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// GridBoundsMeta records the rendered discretization of one grid dimension.
+type GridBoundsMeta struct {
+	Field string  `json:"field"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Cells int     `json:"cells"`
+}
+
+// IndexMeta records one secondary B+tree index: the indexed field and the
+// tree's root page.
+type IndexMeta struct {
+	Field string `json:"field"`
+	Root  uint64 `json:"root"`
+}
+
+// SegmentEntry pairs a vertical partition's definition with its rendered
+// extent.
+type SegmentEntry struct {
+	Fields []string     `json:"fields"`
+	Codecs []string     `json:"codecs"`
+	Meta   segment.Meta `json:"meta"`
+}
+
+// Table is the catalog record of one table.
+type Table struct {
+	Name       string           `json:"name"`
+	Fields     []FieldMeta      `json:"schema"`
+	LayoutExpr string           `json:"layout"`
+	RowCount   int64            `json:"rows"`
+	Segments   []SegmentEntry   `json:"segments,omitempty"`
+	Tails      [][]SegmentEntry `json:"tails,omitempty"` // per insert batch, aligned with Segments
+	GridBounds []GridBoundsMeta `json:"grid,omitempty"`
+	Indexes    []IndexMeta      `json:"indexes,omitempty"`
+	NeedsReorg bool             `json:"needsReorg,omitempty"` // lazy reorganization pending
+	// PendingExpr is the layout to apply on next access when NeedsReorg.
+	PendingExpr string `json:"pendingExpr,omitempty"`
+}
+
+// Schema reconstructs the value.Schema of the table's logical schema.
+func (t *Table) Schema() (*value.Schema, error) {
+	fields := make([]value.Field, len(t.Fields))
+	for i, f := range t.Fields {
+		k, err := value.KindFromString(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: table %s field %s: %w", t.Name, f.Name, err)
+		}
+		fields[i] = value.Field{Name: f.Name, Type: k}
+	}
+	return value.NewSchema(fields...)
+}
+
+// Catalog is the in-memory catalog bound to a page file.
+type Catalog struct {
+	mu     sync.Mutex
+	file   *pager.File
+	tables map[string]*Table
+	extent segment.Meta // current catalog extent (reuses segment.Meta fields)
+}
+
+// Load reads the catalog from the file (empty catalog if none yet).
+func Load(file *pager.File) (*Catalog, error) {
+	c := &Catalog{file: file, tables: make(map[string]*Table)}
+	start := pager.PageID(file.MetaGet(slotExtentStart))
+	pages := file.MetaGet(slotExtentPages)
+	byteLen := file.MetaGet(slotByteLen)
+	if start == pager.InvalidPage || pages == 0 {
+		return c, nil
+	}
+	payload := uint64(file.PayloadSize())
+	buf := make([]byte, 0, byteLen)
+	for p := uint64(0); p < pages; p++ {
+		page, err := file.ReadPage(start + pager.PageID(p))
+		if err != nil {
+			return nil, fmt.Errorf("catalog: read: %w", err)
+		}
+		need := byteLen - uint64(len(buf))
+		if need > payload {
+			need = payload
+		}
+		buf = append(buf, page[:need]...)
+	}
+	var tables []*Table
+	if err := json.Unmarshal(buf, &tables); err != nil {
+		return nil, fmt.Errorf("catalog: decode: %w", err)
+	}
+	for _, t := range tables {
+		c.tables[t.Name] = t
+	}
+	c.extent = segment.Meta{ExtentStart: start, ExtentPages: pages, UsedBytes: byteLen}
+	return c, nil
+}
+
+// flush serializes and writes the catalog, then flips the meta slots.
+// Caller holds c.mu.
+func (c *Catalog) flush() error {
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	buf, err := json.Marshal(tables)
+	if err != nil {
+		return fmt.Errorf("catalog: encode: %w", err)
+	}
+	payload := uint64(c.file.PayloadSize())
+	npages := (uint64(len(buf)) + payload - 1) / payload
+	if npages == 0 {
+		npages = 1
+	}
+	start, err := c.file.AllocateRun(npages)
+	if err != nil {
+		return err
+	}
+	for p := uint64(0); p < npages; p++ {
+		lo := p * payload
+		hi := lo + payload
+		if hi > uint64(len(buf)) {
+			hi = uint64(len(buf))
+		}
+		var chunk []byte
+		if lo < uint64(len(buf)) {
+			chunk = buf[lo:hi]
+		}
+		if err := c.file.WritePage(start+pager.PageID(p), chunk); err != nil {
+			return err
+		}
+	}
+	// Flip the pointers (single header write per slot; last write wins on
+	// crash — the extent itself is already durable).
+	if err := c.file.MetaSet(slotExtentStart, uint64(start)); err != nil {
+		return err
+	}
+	if err := c.file.MetaSet(slotExtentPages, npages); err != nil {
+		return err
+	}
+	if err := c.file.MetaSet(slotByteLen, uint64(len(buf))); err != nil {
+		return err
+	}
+	// Free the previous extent.
+	if c.extent.ExtentPages > 0 {
+		if err := c.file.FreeRun(c.extent.ExtentStart, c.extent.ExtentPages); err != nil {
+			return err
+		}
+	}
+	c.extent = segment.Meta{ExtentStart: start, ExtentPages: npages, UsedBytes: uint64(len(buf))}
+	return nil
+}
+
+// Get returns the table record, or an error if absent.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether the table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Names lists table names sorted.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Put inserts or replaces a table record and persists the catalog.
+func (c *Catalog) Put(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+	return c.flush()
+}
+
+// Delete removes a table record and persists the catalog. The caller is
+// responsible for freeing the table's extents first.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, name)
+	return c.flush()
+}
+
+// Schemas returns the name→schema map of every table (the input the algebra
+// interpreter needs).
+func (c *Catalog) Schemas() (map[string]*value.Schema, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*value.Schema, len(c.tables))
+	for n, t := range c.tables {
+		s, err := t.Schema()
+		if err != nil {
+			return nil, err
+		}
+		out[n] = s
+	}
+	return out, nil
+}
+
+// FieldsOf converts a value.Schema into catalog field metadata.
+func FieldsOf(s *value.Schema) []FieldMeta {
+	out := make([]FieldMeta, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = FieldMeta{Name: f.Name, Type: f.Type.String()}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rodentstore/internal/pager"
+	"rodentstore/internal/segment"
+	"rodentstore/internal/value"
+)
+
+func newFile(t *testing.T) (*pager.File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cat.rdnt")
+	f, err := pager.Create(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, path
+}
+
+func sampleTable() *Table {
+	return &Table{
+		Name: "Traces",
+		Fields: []FieldMeta{
+			{Name: "t", Type: "int"},
+			{Name: "lat", Type: "float"},
+			{Name: "id", Type: "string"},
+		},
+		LayoutExpr: "rows(Traces)",
+		RowCount:   42,
+		Segments: []SegmentEntry{{
+			Fields: []string{"t", "lat", "id"},
+			Codecs: []string{"", "delta", ""},
+			Meta: segment.Meta{
+				ExtentStart: 5, ExtentPages: 10, UsedBytes: 9000, Rows: 42,
+				Blocks: []segment.BlockMeta{{Off: 0, Len: 9000, Rows: 42, Cell: segment.NoCell}},
+			},
+		}},
+		GridBounds: []GridBoundsMeta{{Field: "lat", Min: 42.3, Max: 42.4, Cells: 64}},
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	f, _ := newFile(t)
+	c, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Names()) != 0 {
+		t.Errorf("names: %v", c.Names())
+	}
+	if c.Has("x") {
+		t.Error("Has on empty catalog")
+	}
+	if _, err := c.Get("x"); err == nil {
+		t.Error("Get on empty catalog should fail")
+	}
+}
+
+func TestPutGetPersist(t *testing.T) {
+	f, path := newFile(t)
+	c, _ := Load(f)
+	if err := c.Put(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("Traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowCount != 42 || got.LayoutExpr != "rows(Traces)" {
+		t.Errorf("got %+v", got)
+	}
+	f.Close()
+
+	// Reopen: everything must be restored.
+	f2, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	c2, err := Load(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := c2.Get("Traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, sampleTable()) {
+		t.Errorf("persisted table differs:\n got %+v\nwant %+v", got2, sampleTable())
+	}
+}
+
+func TestSchemaReconstruction(t *testing.T) {
+	tab := sampleTable()
+	s, err := tab.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "t:int, lat:float, id:string" {
+		t.Errorf("schema: %s", s)
+	}
+	bad := &Table{Name: "X", Fields: []FieldMeta{{Name: "a", Type: "widget"}}}
+	if _, err := bad.Schema(); err == nil {
+		t.Error("bad type should fail")
+	}
+}
+
+func TestFieldsOfRoundtrip(t *testing.T) {
+	s := value.MustSchema(
+		value.Field{Name: "a", Type: value.Int},
+		value.Field{Name: "b", Type: value.Bool},
+	)
+	fm := FieldsOf(s)
+	tab := &Table{Name: "T", Fields: fm}
+	back, err := tab.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Errorf("roundtrip: %s vs %s", back, s)
+	}
+}
+
+func TestDeleteAndNames(t *testing.T) {
+	f, _ := newFile(t)
+	c, _ := Load(f)
+	c.Put(sampleTable())
+	c.Put(&Table{Name: "Areas", Fields: []FieldMeta{{Name: "a", Type: "int"}}, LayoutExpr: "rows(Areas)"})
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"Areas", "Traces"}) {
+		t.Errorf("names: %v", got)
+	}
+	if err := c.Delete("Areas"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Has("Areas") {
+		t.Error("Areas still present")
+	}
+	if err := c.Delete("Areas"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	f, _ := newFile(t)
+	c, _ := Load(f)
+	c.Put(sampleTable())
+	m, err := c.Schemas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m["Traces"].Arity() != 3 {
+		t.Errorf("schemas: %v", m)
+	}
+}
+
+func TestRepeatedFlushReclaimsSpace(t *testing.T) {
+	// Rewriting the catalog many times must not grow the file unboundedly:
+	// old extents are freed and reused.
+	f, _ := newFile(t)
+	c, _ := Load(f)
+	c.Put(sampleTable())
+	after1 := f.NumPages()
+	for i := 0; i < 50; i++ {
+		tab, _ := c.Get("Traces")
+		tab.RowCount = int64(i)
+		if err := c.Put(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.NumPages(); got > after1+2 {
+		t.Errorf("catalog rewrites leak pages: %d -> %d", after1, got)
+	}
+}
+
+func TestLargeCatalog(t *testing.T) {
+	// A catalog spanning many pages (large block lists) roundtrips.
+	f, path := newFile(t)
+	c, _ := Load(f)
+	tab := sampleTable()
+	for i := 0; i < 2000; i++ {
+		tab.Segments[0].Meta.Blocks = append(tab.Segments[0].Meta.Blocks, segment.BlockMeta{
+			Off: uint64(i * 100), Len: 100, Rows: 10, RowStart: int64(i * 10), Cell: uint64(i),
+			Zones: []segment.ZoneMap{{Field: "lat", Min: float64(i), Max: float64(i + 1)}},
+		})
+	}
+	if err := c.Put(tab); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f2, _ := pager.Open(path)
+	defer f2.Close()
+	c2, err := Load(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c2.Get("Traces")
+	if len(got.Segments[0].Meta.Blocks) != 2001 {
+		t.Errorf("blocks: %d", len(got.Segments[0].Meta.Blocks))
+	}
+}

@@ -1,0 +1,284 @@
+// Package nesting implements the storage algebra's nested lists and list
+// comprehensions (paper §3.3-3.4). Nestings are ordered lists of elements
+// that can be nested arbitrarily; comprehensions
+//
+//	e(v) | \v ← N, C
+//
+// declare new nestings from existing ones through generators (\v ← N),
+// conditions C, and the clauses limit, orderby and groupby. The helper
+// functions pos() and count() of the paper are exposed through Env.
+//
+// The package also implements the physical representation φ(N) (paper
+// §3.4): the flattening of a nesting obtained by recursively enumerating
+// entries from the leftmost — the order in which the storage backend lays
+// values on disk.
+package nesting
+
+import (
+	"fmt"
+
+	"rodentstore/internal/value"
+)
+
+// Env holds the variable bindings of one comprehension iteration.
+type Env struct {
+	parent *Env
+	name   string
+	val    value.Value
+	pos    int
+	count  int
+}
+
+// bind returns a child environment with one more binding.
+func (e *Env) bind(name string, v value.Value, pos, count int) *Env {
+	return &Env{parent: e, name: name, val: v, pos: pos, count: count}
+}
+
+// lookup finds a binding by name.
+func (e *Env) lookup(name string) (*Env, error) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.name == name {
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("nesting: unbound variable %q", name)
+}
+
+// Val returns the value bound to the variable (the paper's \v).
+func (e *Env) Val(name string) value.Value {
+	b, err := e.lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b.val
+}
+
+// Pos returns the position of the variable's element within its source
+// nesting — the paper's pos() helper.
+func (e *Env) Pos(name string) int {
+	b, err := e.lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b.pos
+}
+
+// Count returns the number of elements in the variable's source nesting —
+// the paper's count() helper.
+func (e *Env) Count(name string) int {
+	b, err := e.lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b.count
+}
+
+// Generator binds Var to successive elements of the nesting produced by
+// Source (which may reference previously bound variables, enabling
+// dependent generators like \r' ← r).
+type Generator struct {
+	Var    string
+	Source func(*Env) value.Value
+}
+
+// Comprehension is a declarative list definition. Head computes each result
+// element; Where filters; OrderKey/GroupKey/Limit implement the paper's
+// orderby, groupby and limit clauses, applied in that order.
+type Comprehension struct {
+	Generators []Generator
+	Where      func(*Env) bool
+	Head       func(*Env) value.Value
+	// OrderKey, when non-nil, sorts results by the returned key.
+	OrderKey  func(*Env) value.Value
+	OrderDesc bool
+	// GroupKey, when non-nil, regroups consecutive equal-key results into
+	// sub-nestings (applied after ordering).
+	GroupKey func(*Env) value.Value
+	// Limit truncates the result when >= 0.
+	Limit int
+}
+
+type resultElem struct {
+	head  value.Value
+	order value.Value
+	group value.Value
+}
+
+// Eval runs the comprehension and returns the resulting nesting (a List).
+func (c *Comprehension) Eval() (value.Value, error) {
+	if len(c.Generators) == 0 {
+		return value.Value{}, fmt.Errorf("nesting: comprehension needs at least one generator")
+	}
+	if c.Head == nil {
+		return value.Value{}, fmt.Errorf("nesting: comprehension needs a head")
+	}
+	var results []resultElem
+	var rec func(env *Env, depth int) error
+	rec = func(env *Env, depth int) error {
+		if depth == len(c.Generators) {
+			if c.Where != nil && !c.Where(env) {
+				return nil
+			}
+			el := resultElem{head: c.Head(env)}
+			if c.OrderKey != nil {
+				el.order = c.OrderKey(env)
+			}
+			if c.GroupKey != nil {
+				el.group = c.GroupKey(env)
+			}
+			results = append(results, el)
+			return nil
+		}
+		g := c.Generators[depth]
+		src := g.Source(env)
+		if src.Kind() != value.List {
+			return fmt.Errorf("nesting: generator %q source is %s, not a list", g.Var, src.Kind())
+		}
+		items := src.List()
+		for i, item := range items {
+			if err := rec(env.bind(g.Var, item, i, len(items)), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(nil, 0); err != nil {
+		return value.Value{}, err
+	}
+
+	if c.OrderKey != nil {
+		stableSortBy(results, func(a, b resultElem) int {
+			cmp := value.Compare(a.order, b.order)
+			if c.OrderDesc {
+				return -cmp
+			}
+			return cmp
+		})
+	}
+
+	var out []value.Value
+	if c.GroupKey != nil {
+		// Group equal keys in first-appearance order (stable within group).
+		type groupEntry struct {
+			key   value.Value
+			elems []value.Value
+		}
+		var groups []groupEntry
+		index := make(map[uint64][]int)
+		for _, r := range results {
+			h := r.group.Hash()
+			found := -1
+			for _, gi := range index[h] {
+				if value.Equal(groups[gi].key, r.group) {
+					found = gi
+					break
+				}
+			}
+			if found < 0 {
+				found = len(groups)
+				groups = append(groups, groupEntry{key: r.group})
+				index[h] = append(index[h], found)
+			}
+			groups[found].elems = append(groups[found].elems, r.head)
+		}
+		for _, g := range groups {
+			out = append(out, value.NewList(g.elems...))
+		}
+	} else {
+		for _, r := range results {
+			out = append(out, r.head)
+		}
+	}
+
+	if c.Limit >= 0 && c.Limit < len(out) {
+		out = out[:c.Limit]
+	}
+	return value.NewList(out...), nil
+}
+
+// stableSortBy is a stable merge-insertion sort over resultElems (small
+// helper to avoid importing sort with a closure wrapper repeatedly).
+func stableSortBy(xs []resultElem, cmp func(a, b resultElem) int) {
+	// Insertion sort is stable; inputs here are comprehension results,
+	// usually modest. For large inputs use a bottom-up merge sort.
+	if len(xs) < 64 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && cmp(xs[j-1], xs[j]) > 0; j-- {
+				xs[j-1], xs[j] = xs[j], xs[j-1]
+			}
+		}
+		return
+	}
+	buf := make([]resultElem, len(xs))
+	for width := 1; width < len(xs); width *= 2 {
+		for lo := 0; lo < len(xs); lo += 2 * width {
+			mid := min(lo+width, len(xs))
+			hi := min(lo+2*width, len(xs))
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if cmp(xs[j], xs[i]) < 0 {
+					buf[k] = xs[j]
+					j++
+				} else {
+					buf[k] = xs[i]
+					i++
+				}
+				k++
+			}
+			copy(buf[k:hi], xs[i:mid])
+			copy(buf[k+mid-i:hi], xs[j:hi])
+			copy(xs[lo:hi], buf[lo:hi])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Flatten computes the physical representation φ(N): the list of scalar
+// entries obtained by recursively enumerating the nesting from the leftmost
+// entry (paper §3.4). Scalars flatten to themselves.
+func Flatten(n value.Value) []value.Value {
+	var out []value.Value
+	var rec func(v value.Value)
+	rec = func(v value.Value) {
+		if v.Kind() == value.List {
+			for _, c := range v.List() {
+				rec(c)
+			}
+			return
+		}
+		out = append(out, v)
+	}
+	rec(n)
+	return out
+}
+
+// FromRows builds the canonical nesting of a relation: a list of row lists
+// (the paper's row-major representation Nr).
+func FromRows(rows []value.Row) value.Value {
+	out := make([]value.Value, len(rows))
+	for i, r := range rows {
+		out[i] = value.NewList(r...)
+	}
+	return value.NewList(out...)
+}
+
+// ToRows converts a nesting of flat row lists back to relation rows.
+func ToRows(n value.Value) ([]value.Row, error) {
+	if n.Kind() != value.List {
+		return nil, fmt.Errorf("nesting: not a list")
+	}
+	rows := make([]value.Row, 0, n.Len())
+	for _, el := range n.List() {
+		if el.Kind() != value.List {
+			return nil, fmt.Errorf("nesting: element is %s, not a row list", el.Kind())
+		}
+		rows = append(rows, value.Row(el.List()))
+	}
+	return rows, nil
+}

@@ -1,0 +1,306 @@
+package nesting
+
+import (
+	"testing"
+
+	"rodentstore/internal/value"
+)
+
+func list(vs ...int64) value.Value {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		out[i] = value.NewInt(v)
+	}
+	return value.NewList(out...)
+}
+
+// table T = [[zip, area, addr]] from the paper's §3.3 example.
+func sampleTable() value.Value {
+	return value.NewList(
+		value.NewList(value.NewInt(2139), value.NewInt(617), value.NewString("32 Vassar St")),
+		value.NewList(value.NewInt(2142), value.NewInt(617), value.NewString("1 Broadway")),
+		value.NewList(value.NewInt(10001), value.NewInt(212), value.NewString("350 5th Ave")),
+		value.NewList(value.NewInt(2138), value.NewInt(617), value.NewString("1 Oxford St")),
+	)
+}
+
+func TestRowMajorComprehension(t *testing.T) {
+	// Nr = [[r.Zip, r.Area, r.Addr] | \r ← T]: the identity on rows.
+	T := sampleTable()
+	c := &Comprehension{
+		Generators: []Generator{{Var: "r", Source: func(*Env) value.Value { return T }}},
+		Head:       func(e *Env) value.Value { return e.Val("r") },
+		Limit:      -1,
+	}
+	got, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, T) {
+		t.Errorf("row-major comprehension should be identity:\n got %v\nwant %v", got, T)
+	}
+}
+
+func TestColumnMajorComprehension(t *testing.T) {
+	// Nc = [[r.Zip|\r←T], [r.Area|\r←T], [r.Addr|\r←T]].
+	T := sampleTable()
+	colOf := func(idx int) value.Value {
+		c := &Comprehension{
+			Generators: []Generator{{Var: "r", Source: func(*Env) value.Value { return T }}},
+			Head:       func(e *Env) value.Value { return e.Val("r").List()[idx] },
+			Limit:      -1,
+		}
+		v, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	zips := colOf(0)
+	if !value.Equal(zips, list(2139, 2142, 10001, 2138)) {
+		t.Errorf("zip column: %v", zips)
+	}
+	// φ(Nc) lays out all zips, then all areas, then all addrs.
+	nc := value.NewList(colOf(0), colOf(1), colOf(2))
+	flat := Flatten(nc)
+	if len(flat) != 12 {
+		t.Fatalf("flatten length %d", len(flat))
+	}
+	if flat[0].Int() != 2139 || flat[3].Int() != 2138 || flat[4].Int() != 617 {
+		t.Errorf("column-major flattening wrong: %v", flat[:6])
+	}
+}
+
+func TestPaperSortedZipComprehension(t *testing.T) {
+	// Nz = [r.Zip | \r ← T, r.Area = 617, orderby r.Zip ASC] (paper §3.3).
+	T := sampleTable()
+	c := &Comprehension{
+		Generators: []Generator{{Var: "r", Source: func(*Env) value.Value { return T }}},
+		Where:      func(e *Env) bool { return e.Val("r").List()[1].Int() == 617 },
+		Head:       func(e *Env) value.Value { return e.Val("r").List()[0] },
+		OrderKey:   func(e *Env) value.Value { return e.Val("r").List()[0] },
+		Limit:      -1,
+	}
+	got, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := list(2138, 2139, 2142)
+	if !value.Equal(got, want) {
+		t.Errorf("Nz: got %v want %v", got, want)
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	src := list(3, 1, 2)
+	c := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return src }}},
+		Head:       func(e *Env) value.Value { return e.Val("x") },
+		OrderKey:   func(e *Env) value.Value { return e.Val("x") },
+		OrderDesc:  true,
+		Limit:      -1,
+	}
+	got, _ := c.Eval()
+	if !value.Equal(got, list(3, 2, 1)) {
+		t.Errorf("desc order: %v", got)
+	}
+}
+
+func TestLimitClause(t *testing.T) {
+	src := list(1, 2, 3, 4, 5)
+	c := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return src }}},
+		Head:       func(e *Env) value.Value { return e.Val("x") },
+		Limit:      2,
+	}
+	got, _ := c.Eval()
+	if !value.Equal(got, list(1, 2)) {
+		t.Errorf("limit: %v", got)
+	}
+	// Limit 0 yields the empty nesting.
+	c.Limit = 0
+	got, _ = c.Eval()
+	if got.Len() != 0 {
+		t.Errorf("limit 0: %v", got)
+	}
+}
+
+func TestGroupByClause(t *testing.T) {
+	// Group areas: elements with equal group key fall into one sub-nesting.
+	T := sampleTable()
+	c := &Comprehension{
+		Generators: []Generator{{Var: "r", Source: func(*Env) value.Value { return T }}},
+		Head:       func(e *Env) value.Value { return e.Val("r").List()[0] },
+		GroupKey:   func(e *Env) value.Value { return e.Val("r").List()[1] },
+		Limit:      -1,
+	}
+	got, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two groups: area 617 (zips 2139, 2142, 2138) then area 212 (10001).
+	if got.Len() != 2 {
+		t.Fatalf("groups: %v", got)
+	}
+	if !value.Equal(got.List()[0], list(2139, 2142, 2138)) {
+		t.Errorf("group 0: %v", got.List()[0])
+	}
+	if !value.Equal(got.List()[1], list(10001)) {
+		t.Errorf("group 1: %v", got.List()[1])
+	}
+}
+
+func TestDependentGenerators(t *testing.T) {
+	// [x | \row ← M, \x ← row]: flattens a matrix row by row.
+	M := value.NewList(list(1, 2), list(3, 4, 5))
+	c := &Comprehension{
+		Generators: []Generator{
+			{Var: "row", Source: func(*Env) value.Value { return M }},
+			{Var: "x", Source: func(e *Env) value.Value { return e.Val("row") }},
+		},
+		Head:  func(e *Env) value.Value { return e.Val("x") },
+		Limit: -1,
+	}
+	got, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, list(1, 2, 3, 4, 5)) {
+		t.Errorf("dependent generators: %v", got)
+	}
+}
+
+func TestPosAndCountHelpers(t *testing.T) {
+	// Delta-like use of pos(): emit pos(x) * 10 + x for each element.
+	src := list(7, 8, 9)
+	c := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return src }}},
+		Head: func(e *Env) value.Value {
+			return value.NewInt(int64(e.Pos("x"))*10 + e.Val("x").Int())
+		},
+		Limit: -1,
+	}
+	got, _ := c.Eval()
+	if !value.Equal(got, list(7, 18, 29)) {
+		t.Errorf("pos helper: %v", got)
+	}
+	// count() via Where: keep all but the last (limit count(N)-1 pattern).
+	c2 := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return src }}},
+		Where:      func(e *Env) bool { return e.Pos("x") < e.Count("x")-1 },
+		Head:       func(e *Env) value.Value { return e.Val("x") },
+		Limit:      -1,
+	}
+	got, _ = c2.Eval()
+	if !value.Equal(got, list(7, 8)) {
+		t.Errorf("count helper: %v", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := (&Comprehension{Limit: -1}).Eval(); err == nil {
+		t.Error("no generators should fail")
+	}
+	c := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return value.NewInt(5) }}},
+		Head:       func(e *Env) value.Value { return e.Val("x") },
+		Limit:      -1,
+	}
+	if _, err := c.Eval(); err == nil {
+		t.Error("non-list source should fail")
+	}
+	c2 := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return list(1) }}},
+		Limit:      -1,
+	}
+	if _, err := c2.Eval(); err == nil {
+		t.Error("missing head should fail")
+	}
+}
+
+func TestEnvUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unbound variable")
+		}
+	}()
+	c := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return list(1) }}},
+		Head:       func(e *Env) value.Value { return e.Val("nope") },
+		Limit:      -1,
+	}
+	c.Eval()
+}
+
+func TestFlattenScalarsAndDeep(t *testing.T) {
+	if got := Flatten(value.NewInt(7)); len(got) != 1 || got[0].Int() != 7 {
+		t.Errorf("scalar flatten: %v", got)
+	}
+	deep := value.NewList(
+		value.NewList(value.NewList(value.NewInt(1)), value.NewInt(2)),
+		value.NewInt(3),
+	)
+	got := Flatten(deep)
+	if len(got) != 3 || got[0].Int() != 1 || got[1].Int() != 2 || got[2].Int() != 3 {
+		t.Errorf("deep flatten: %v", got)
+	}
+	if got := Flatten(value.NewList()); len(got) != 0 {
+		t.Errorf("empty flatten: %v", got)
+	}
+}
+
+func TestFromToRows(t *testing.T) {
+	rows := []value.Row{
+		{value.NewInt(1), value.NewString("a")},
+		{value.NewInt(2), value.NewString("b")},
+	}
+	n := FromRows(rows)
+	back, err := ToRows(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1][1].Str() != "b" {
+		t.Errorf("roundtrip: %v", back)
+	}
+	if _, err := ToRows(value.NewInt(1)); err == nil {
+		t.Error("ToRows of scalar should fail")
+	}
+	if _, err := ToRows(list(1, 2)); err == nil {
+		t.Error("ToRows of scalar list should fail")
+	}
+}
+
+func TestStableSortLarge(t *testing.T) {
+	// Exercise the merge-sort path (>= 64 elements) and check stability:
+	// elements with equal keys keep insertion order.
+	n := 500
+	elems := make([]value.Value, n)
+	for i := range elems {
+		elems[i] = value.NewList(value.NewInt(int64(i%7)), value.NewInt(int64(i)))
+	}
+	src := value.NewList(elems...)
+	c := &Comprehension{
+		Generators: []Generator{{Var: "x", Source: func(*Env) value.Value { return src }}},
+		Head:       func(e *Env) value.Value { return e.Val("x") },
+		OrderKey:   func(e *Env) value.Value { return e.Val("x").List()[0] },
+		Limit:      -1,
+	}
+	got, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevKey, prevSeq := int64(-1), int64(-1)
+	for _, el := range got.List() {
+		k, s := el.List()[0].Int(), el.List()[1].Int()
+		if k < prevKey {
+			t.Fatal("not sorted")
+		}
+		if k == prevKey && s < prevSeq {
+			t.Fatal("not stable")
+		}
+		if k != prevKey {
+			prevSeq = -1
+		}
+		prevKey, prevSeq = k, s
+	}
+}

@@ -1,0 +1,389 @@
+// Package pager implements RodentStore's lowest storage layer: a single-file
+// page store with checksummed fixed-size pages, extent (contiguous page run)
+// allocation, persistent metadata slots, and I/O statistics.
+//
+// The statistics are the measurement substrate for the paper's evaluation:
+// Figure 2 reports the *number of disk pages read per query* and argues that
+// z-ordering "reduces the number of disk seeks". The pager counts a logical
+// page read per ReadPage and a seek whenever the requested page is not the
+// successor of the previously read page, which reproduces both metrics
+// without depending on physical hardware.
+//
+// Layout: page 0 is the header (magic, page size, allocation cursor, meta
+// slots, persisted free extents); all other pages belong to callers. Each
+// page is [crc32 (4 B) | payload]. Dense-packing of data into payloads is
+// the segment layer's job (paper §3.1 "Data Reduction").
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+)
+
+// PageID identifies a page in the file. Page 0 is the header; callers never
+// see it. InvalidPage (0) marks "no page".
+type PageID uint64
+
+// InvalidPage is the zero PageID; it never refers to a data page.
+const InvalidPage PageID = 0
+
+const (
+	// DefaultPageSize matches the case study's 1 KB pages (paper §6; see
+	// DESIGN.md for why "1000 KB" is read as 1 KB).
+	DefaultPageSize = 1024
+	// MinPageSize bounds how small pages may be (header + some payload).
+	MinPageSize = 128
+	// MaxPageSize bounds how large pages may be.
+	MaxPageSize = 1 << 20
+
+	pageHeaderSize = 4 // crc32 of payload
+	magic          = "RDNT0001"
+	// metaSlots is the number of uint64 metadata slots exposed to upper
+	// layers (catalog roots, WAL cursors, ...).
+	metaSlots = 16
+	// maxFreeExtents caps the persisted free list; further frees leak space
+	// (counted in Stats.LeakedPages) rather than complicating the format.
+	maxFreeExtents = 128
+)
+
+// Stats counts logical I/O. Seeks increments when a read is not sequential
+// with the previous read (first read after reset counts as one seek).
+type Stats struct {
+	PageReads  uint64
+	PageWrites uint64
+	Seeks      uint64
+	// SeekDistance sums |target − expected| pages over all seeks: the total
+	// head travel a spinning disk would perform. Space-filling curves lower
+	// this even when the seek count stays flat (nearby cells in space land
+	// nearby on disk), which is the paper's z-ordering argument.
+	SeekDistance uint64
+	Allocs       uint64
+	Frees        uint64
+	LeakedPages  uint64
+}
+
+// Extent is a contiguous run of pages [Start, Start+Count).
+type Extent struct {
+	Start PageID
+	Count uint64
+}
+
+// File is a page store backed by one OS file. All methods are safe for
+// concurrent use.
+type File struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	pageSize int
+	nextPage PageID // allocation cursor (== number of pages incl. header)
+	free     []Extent
+	meta     [metaSlots]uint64
+	stats    Stats
+	lastRead PageID
+	haveLast bool
+	readOnly bool
+}
+
+// Create creates a new page file at path with the given page size,
+// truncating any existing file.
+func Create(path string, pageSize int) (*File, error) {
+	if pageSize < MinPageSize || pageSize > MaxPageSize {
+		return nil, fmt.Errorf("pager: page size %d out of range [%d,%d]", pageSize, MinPageSize, MaxPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: create %s: %w", path, err)
+	}
+	p := &File{f: f, path: path, pageSize: pageSize, nextPage: 1}
+	if err := p.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Open opens an existing page file and restores its header state.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	// Read a maximal header prefix; the true page size is in the header.
+	buf := make([]byte, MaxPageSize)
+	n, err := f.ReadAt(buf, 0)
+	if n < MinPageSize && err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: read header of %s: %w", path, err)
+	}
+	if string(buf[:8]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s is not a RodentStore file", path)
+	}
+	p := &File{f: f, path: path}
+	if err := p.parseHeader(buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// header layout (after the 8-byte magic): pageSize u32, nextPage u64,
+// meta[16] u64, nfree u32, {start u64, count u64}*nfree, leaked u64.
+func (p *File) writeHeader() error {
+	buf := make([]byte, p.pageSize)
+	copy(buf, magic)
+	off := 8
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.pageSize))
+	off += 4
+	binary.LittleEndian.PutUint64(buf[off:], uint64(p.nextPage))
+	off += 8
+	for _, m := range p.meta {
+		binary.LittleEndian.PutUint64(buf[off:], m)
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(p.free)))
+	off += 4
+	for _, e := range p.free {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.Start))
+		off += 8
+		binary.LittleEndian.PutUint64(buf[off:], e.Count)
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], p.stats.LeakedPages)
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: write header: %w", err)
+	}
+	return nil
+}
+
+func (p *File) parseHeader(buf []byte) error {
+	off := 8
+	p.pageSize = int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if p.pageSize < MinPageSize || p.pageSize > MaxPageSize {
+		return fmt.Errorf("pager: corrupt header: page size %d", p.pageSize)
+	}
+	p.nextPage = PageID(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	for i := range p.meta {
+		p.meta[i] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	nfree := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	if nfree > maxFreeExtents {
+		return fmt.Errorf("pager: corrupt header: %d free extents", nfree)
+	}
+	p.free = make([]Extent, nfree)
+	for i := range p.free {
+		p.free[i].Start = PageID(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		p.free[i].Count = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	p.stats.LeakedPages = binary.LittleEndian.Uint64(buf[off:])
+	return nil
+}
+
+// PageSize returns the page size in bytes.
+func (p *File) PageSize() int { return p.pageSize }
+
+// PayloadSize returns the usable bytes per page.
+func (p *File) PayloadSize() int { return p.pageSize - pageHeaderSize }
+
+// NumPages returns the number of pages allocated so far, excluding header
+// and free pages.
+func (p *File) NumPages() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := uint64(p.nextPage) - 1
+	for _, e := range p.free {
+		n -= e.Count
+	}
+	return n
+}
+
+// MetaGet reads a persistent metadata slot.
+func (p *File) MetaGet(slot int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.meta[slot]
+}
+
+// MetaSet writes a persistent metadata slot and flushes the header.
+func (p *File) MetaSet(slot int, v uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.meta[slot] = v
+	return p.writeHeader()
+}
+
+// AllocateRun allocates n contiguous pages, reusing a free extent when one
+// fits (first fit) and extending the file otherwise.
+func (p *File) AllocateRun(n uint64) (PageID, error) {
+	if n == 0 {
+		return InvalidPage, fmt.Errorf("pager: zero-length allocation")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Allocs++
+	for i, e := range p.free {
+		if e.Count >= n {
+			start := e.Start
+			p.free[i].Start += PageID(n)
+			p.free[i].Count -= n
+			if p.free[i].Count == 0 {
+				p.free = append(p.free[:i], p.free[i+1:]...)
+			}
+			return start, p.writeHeader()
+		}
+	}
+	start := p.nextPage
+	p.nextPage += PageID(n)
+	// Extend the file so reads of unwritten pages fail loudly via checksum
+	// rather than short reads.
+	if err := p.f.Truncate(int64(p.nextPage) * int64(p.pageSize)); err != nil {
+		return InvalidPage, fmt.Errorf("pager: extend: %w", err)
+	}
+	return start, p.writeHeader()
+}
+
+// Allocate allocates a single page.
+func (p *File) Allocate() (PageID, error) { return p.AllocateRun(1) }
+
+// FreeRun returns an extent to the free list, coalescing with neighbours.
+// When the free list is full the pages leak (tracked in stats).
+func (p *File) FreeRun(start PageID, n uint64) error {
+	if start == InvalidPage || n == 0 {
+		return fmt.Errorf("pager: bad free of %d pages at %d", n, start)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Frees++
+	p.free = append(p.free, Extent{start, n})
+	sort.Slice(p.free, func(i, j int) bool { return p.free[i].Start < p.free[j].Start })
+	merged := p.free[:0]
+	for _, e := range p.free {
+		if m := len(merged); m > 0 && merged[m-1].Start+PageID(merged[m-1].Count) == e.Start {
+			merged[m-1].Count += e.Count
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	p.free = merged
+	if len(p.free) > maxFreeExtents {
+		for _, e := range p.free[maxFreeExtents:] {
+			p.stats.LeakedPages += e.Count
+		}
+		p.free = p.free[:maxFreeExtents]
+	}
+	return p.writeHeader()
+}
+
+// ReadPage reads the payload of page id into a fresh slice, verifying the
+// checksum and updating read/seek statistics.
+func (p *File) ReadPage(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkID(id); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	p.stats.PageReads++
+	if !p.haveLast || id != p.lastRead+1 {
+		p.stats.Seeks++
+		if p.haveLast {
+			expected := p.lastRead + 1
+			if id > expected {
+				p.stats.SeekDistance += uint64(id - expected)
+			} else {
+				p.stats.SeekDistance += uint64(expected - id)
+			}
+		}
+	}
+	p.lastRead, p.haveLast = id, true
+	want := binary.LittleEndian.Uint32(buf)
+	if got := crc32.ChecksumIEEE(buf[pageHeaderSize:]); got != want {
+		return nil, fmt.Errorf("pager: page %d checksum mismatch (corrupt or never written)", id)
+	}
+	return buf[pageHeaderSize:], nil
+}
+
+// WritePage writes payload (at most PayloadSize bytes) to page id.
+func (p *File) WritePage(id PageID, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return fmt.Errorf("pager: file is read-only")
+	}
+	if err := p.checkID(id); err != nil {
+		return err
+	}
+	if len(payload) > p.pageSize-pageHeaderSize {
+		return fmt.Errorf("pager: payload %d exceeds page payload %d", len(payload), p.pageSize-pageHeaderSize)
+	}
+	buf := make([]byte, p.pageSize)
+	copy(buf[pageHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf, crc32.ChecksumIEEE(buf[pageHeaderSize:]))
+	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	p.stats.PageWrites++
+	return nil
+}
+
+func (p *File) checkID(id PageID) error {
+	if id == InvalidPage || id >= p.nextPage {
+		return fmt.Errorf("pager: page %d out of range [1,%d)", id, p.nextPage)
+	}
+	return nil
+}
+
+// Sync flushes the header and fsyncs the file.
+func (p *File) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file.
+func (p *File) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *File) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the read/write/seek counters (allocation counters and
+// leak accounting are preserved) and resets seek tracking, so each measured
+// query starts cold.
+func (p *File) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.PageReads, p.stats.PageWrites, p.stats.Seeks, p.stats.SeekDistance = 0, 0, 0, 0
+	p.lastRead, p.haveLast = 0, false
+}
+
+// Path returns the backing file path.
+func (p *File) Path() string { return p.path }

@@ -1,0 +1,323 @@
+package pager
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFile(t *testing.T, pageSize int) *File {
+	t.Helper()
+	p, err := Create(filepath.Join(t.TempDir(), "test.rdnt"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestCreateRejectsBadPageSize(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(filepath.Join(dir, "a"), 64); err == nil {
+		t.Error("expected error for tiny page size")
+	}
+	if _, err := Create(filepath.Join(dir, "b"), MaxPageSize*2); err == nil {
+		t.Error("expected error for huge page size")
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	p := newFile(t, 1024)
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello rodent")
+	if err := p.WritePage(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:len(payload)]) != string(payload) {
+		t.Errorf("payload mismatch: %q", got[:len(payload)])
+	}
+	if len(got) != p.PayloadSize() {
+		t.Errorf("payload length %d, want %d", len(got), p.PayloadSize())
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	p := newFile(t, 1024)
+	id, _ := p.Allocate()
+	big := make([]byte, p.PayloadSize()+1)
+	if err := p.WritePage(id, big); err == nil {
+		t.Error("expected error for oversized payload")
+	}
+}
+
+func TestReadUnwrittenPageFails(t *testing.T) {
+	p := newFile(t, 1024)
+	id, _ := p.Allocate()
+	if _, err := p.ReadPage(id); err == nil {
+		t.Error("expected checksum error reading unwritten page")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	p := newFile(t, 1024)
+	if _, err := p.ReadPage(InvalidPage); err == nil {
+		t.Error("expected error reading page 0")
+	}
+	if _, err := p.ReadPage(999); err == nil {
+		t.Error("expected error reading unallocated page")
+	}
+	if err := p.WritePage(999, nil); err == nil {
+		t.Error("expected error writing unallocated page")
+	}
+}
+
+func TestAllocateRunContiguous(t *testing.T) {
+	p := newFile(t, 1024)
+	a, err := p.AllocateRun(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.AllocateRun(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+10 {
+		t.Errorf("second run should follow first: a=%d b=%d", a, b)
+	}
+	if _, err := p.AllocateRun(0); err == nil {
+		t.Error("expected error for zero-length run")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	p := newFile(t, 1024)
+	a, _ := p.AllocateRun(10)
+	if err := p.FreeRun(a, 10); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.AllocateRun(4)
+	if b != a {
+		t.Errorf("allocation should reuse freed extent: got %d want %d", b, a)
+	}
+	c, _ := p.AllocateRun(6)
+	if c != a+4 {
+		t.Errorf("remainder reuse: got %d want %d", c, a+4)
+	}
+}
+
+func TestFreeCoalescing(t *testing.T) {
+	p := newFile(t, 1024)
+	a, _ := p.AllocateRun(12)
+	p.FreeRun(a, 4)
+	p.FreeRun(a+8, 4)
+	p.FreeRun(a+4, 4) // middle: all three must coalesce
+	b, _ := p.AllocateRun(12)
+	if b != a {
+		t.Errorf("coalesced extent should satisfy full run: got %d want %d", b, a)
+	}
+}
+
+func TestNumPages(t *testing.T) {
+	p := newFile(t, 1024)
+	if n := p.NumPages(); n != 0 {
+		t.Errorf("fresh file NumPages = %d", n)
+	}
+	a, _ := p.AllocateRun(7)
+	if n := p.NumPages(); n != 7 {
+		t.Errorf("after alloc NumPages = %d", n)
+	}
+	p.FreeRun(a, 3)
+	if n := p.NumPages(); n != 4 {
+		t.Errorf("after free NumPages = %d", n)
+	}
+}
+
+func TestStatsAndSeeks(t *testing.T) {
+	p := newFile(t, 1024)
+	start, _ := p.AllocateRun(10)
+	for i := uint64(0); i < 10; i++ {
+		if err := p.WritePage(start+PageID(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.ResetStats()
+	// Sequential scan: 10 reads, 1 seek (the initial positioning).
+	for i := uint64(0); i < 10; i++ {
+		if _, err := p.ReadPage(start + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.PageReads != 10 {
+		t.Errorf("PageReads = %d, want 10", s.PageReads)
+	}
+	if s.Seeks != 1 {
+		t.Errorf("sequential scan Seeks = %d, want 1", s.Seeks)
+	}
+	p.ResetStats()
+	// Strided access: every read is a seek.
+	for _, off := range []uint64{0, 5, 2, 9, 4} {
+		p.ReadPage(start + PageID(off))
+	}
+	if s := p.Stats(); s.Seeks != 5 {
+		t.Errorf("random access Seeks = %d, want 5", s.Seeks)
+	}
+}
+
+func TestMetaPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.rdnt")
+	p, err := Create(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MetaSet(3, 0xdeadbeef)
+	p.MetaSet(0, 42)
+	id, _ := p.Allocate()
+	p.WritePage(id, []byte("persist me"))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.MetaGet(3) != 0xdeadbeef || q.MetaGet(0) != 42 {
+		t.Error("meta slots not persisted")
+	}
+	if q.PageSize() != 2048 {
+		t.Errorf("page size not persisted: %d", q.PageSize())
+	}
+	got, err := q.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:10]) != "persist me" {
+		t.Error("page content not persisted")
+	}
+}
+
+func TestFreeListPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "free.rdnt")
+	p, _ := Create(path, 1024)
+	a, _ := p.AllocateRun(20)
+	p.FreeRun(a, 20)
+	p.Close()
+
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	b, _ := q.AllocateRun(20)
+	if b != a {
+		t.Errorf("free list not persisted: got %d want %d", b, a)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("expected error opening non-RodentStore file")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected error opening missing file")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.rdnt")
+	p, _ := Create(path, 1024)
+	id, _ := p.Allocate()
+	p.WritePage(id, []byte("important data"))
+	p.Close()
+
+	// Flip one byte in the page payload.
+	raw, _ := os.ReadFile(path)
+	raw[int(id)*1024+100] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.ReadPage(id); err == nil {
+		t.Error("expected checksum error on corrupted page")
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	p := newFile(t, 1024)
+	const pages = 64
+	start, _ := p.AllocateRun(pages)
+	for i := 0; i < pages; i++ {
+		p.WritePage(start+PageID(i), []byte{byte(i)})
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				id := start + PageID(r.Intn(pages))
+				if r.Intn(2) == 0 {
+					if err := p.WritePage(id, []byte{byte(i)}); err != nil {
+						done <- err
+						return
+					}
+				} else {
+					if _, err := p.ReadPage(id); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWritePage(b *testing.B) {
+	dir := b.TempDir()
+	p, _ := Create(filepath.Join(dir, "bench.rdnt"), 1024)
+	defer p.Close()
+	start, _ := p.AllocateRun(uint64(b.N) + 1)
+	payload := make([]byte, p.PayloadSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.WritePage(start+PageID(i), payload)
+	}
+}
+
+func BenchmarkReadPageSequential(b *testing.B) {
+	dir := b.TempDir()
+	p, _ := Create(filepath.Join(dir, "bench.rdnt"), 1024)
+	defer p.Close()
+	const pages = 1024
+	start, _ := p.AllocateRun(pages)
+	payload := make([]byte, p.PayloadSize())
+	for i := 0; i < pages; i++ {
+		p.WritePage(start+PageID(i), payload)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ReadPage(start + PageID(i%pages))
+	}
+}

@@ -1,0 +1,385 @@
+// Package segment implements RodentStore's physical storage objects. A
+// segment is one flattened nesting φ(N) (paper §3.4) written as a byte
+// stream over a contiguous page extent: the disk realization of one vertical
+// partition of a table.
+//
+// Segments are sequences of self-delimiting blocks. A block holds a run of
+// rows in PAX style (column chunks within the block, after Ailamaki et al.,
+// which the paper cites): each column chunk is compressed independently with
+// the codec the layout assigns to that field (paper §3.5.2). Blocks carry
+// the grid cell they belong to (paper §3.6) and zone maps (min/max per
+// numeric field) so ordered and gridded scans can skip irrelevant pages —
+// the data co-location and reordering dimensions of §3.1.
+//
+// Block wire format:
+//
+//	u32 bodyLen | u64 cell | uvarint nrows | ncols × (u32 chunkLen | chunk)
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rodentstore/internal/compress"
+	"rodentstore/internal/pager"
+	"rodentstore/internal/value"
+)
+
+// DefaultRowsPerBlock bounds block size for non-grid segments.
+const DefaultRowsPerBlock = 4096
+
+// NoCell marks blocks of ungridded segments.
+const NoCell = ^uint64(0)
+
+// Spec describes a segment's stored fields and per-field codecs.
+type Spec struct {
+	Fields []value.Field
+	Codecs []string // parallel to Fields; "" = none
+}
+
+// Validate checks the spec and resolves codec names.
+func (s Spec) Validate() error {
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("segment: no fields")
+	}
+	if len(s.Codecs) != len(s.Fields) {
+		return fmt.Errorf("segment: %d codecs for %d fields", len(s.Codecs), len(s.Fields))
+	}
+	for i, c := range s.Codecs {
+		if _, err := compress.Lookup(c); err != nil {
+			return fmt.Errorf("segment: field %q: %w", s.Fields[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// ZoneMap is the min/max of one numeric field within a block.
+type ZoneMap struct {
+	Field string  `json:"f"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// BlockMeta locates one block inside the segment stream.
+type BlockMeta struct {
+	Off      uint64    `json:"off"`  // byte offset of the u32 length header
+	Len      uint32    `json:"len"`  // total bytes including the header
+	Rows     int       `json:"rows"` // row count
+	RowStart int64     `json:"rs"`   // cumulative rows before this block
+	Cell     uint64    `json:"cell"` // grid cell (NoCell when ungridded)
+	Zones    []ZoneMap `json:"z,omitempty"`
+}
+
+// Meta is the persistent description of a rendered segment.
+type Meta struct {
+	ExtentStart pager.PageID `json:"start"`
+	ExtentPages uint64       `json:"pages"`
+	UsedBytes   uint64       `json:"used"`
+	Rows        int64        `json:"rows"`
+	Blocks      []BlockMeta  `json:"blocks"`
+}
+
+// Writer renders blocks into an in-memory stream and flushes them to a
+// freshly allocated extent on Finish. (Buffering the stream keeps extents
+// contiguous, which is what makes page-adjacency seek accounting faithful;
+// segment renders are bulk operations in RodentStore, as §5's eager
+// reorganization discussion assumes.)
+type Writer struct {
+	file   *pager.File
+	spec   Spec
+	codecs []compress.Codec
+	buf    []byte
+	blocks []BlockMeta
+	rows   int64
+}
+
+// NewWriter creates a segment writer.
+func NewWriter(file *pager.File, spec Spec) (*Writer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	codecs := make([]compress.Codec, len(spec.Codecs))
+	for i, name := range spec.Codecs {
+		c, err := compress.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		codecs[i] = c
+	}
+	return &Writer{file: file, spec: spec, codecs: codecs}, nil
+}
+
+// WriteBlock appends one block of rows belonging to the given cell
+// (NoCell for ungridded segments). Rows must match the spec's fields.
+func (w *Writer) WriteBlock(cell uint64, rows []value.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	ncols := len(w.spec.Fields)
+	cols := make([][]value.Value, ncols)
+	for c := range cols {
+		col := make([]value.Value, len(rows))
+		for r, row := range rows {
+			if len(row) != ncols {
+				return fmt.Errorf("segment: row arity %d != %d fields", len(row), ncols)
+			}
+			col[r] = row[c]
+		}
+		cols[c] = col
+	}
+
+	body := make([]byte, 0, len(rows)*16)
+	body = binary.LittleEndian.AppendUint64(body, cell)
+	body = binary.AppendUvarint(body, uint64(len(rows)))
+	for c, col := range cols {
+		chunk, err := w.codecs[c].Encode(nil, w.spec.Fields[c].Type, col)
+		if err != nil {
+			return fmt.Errorf("segment: field %q: %w", w.spec.Fields[c].Name, err)
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(chunk)))
+		body = append(body, chunk...)
+	}
+
+	meta := BlockMeta{
+		Off:      uint64(len(w.buf)),
+		Len:      uint32(4 + len(body)),
+		Rows:     len(rows),
+		RowStart: w.rows,
+		Cell:     cell,
+		Zones:    zones(w.spec.Fields, cols),
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(body)))
+	w.buf = append(w.buf, body...)
+	w.blocks = append(w.blocks, meta)
+	w.rows += int64(len(rows))
+	return nil
+}
+
+// zones computes per-numeric-field min/max for a block.
+func zones(fields []value.Field, cols [][]value.Value) []ZoneMap {
+	var out []ZoneMap
+	for c, f := range fields {
+		if f.Type != value.Int && f.Type != value.Float {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		ok := true
+		for _, v := range cols[c] {
+			if v.IsNull() {
+				ok = false
+				break
+			}
+			x := v.Float()
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if ok {
+			out = append(out, ZoneMap{Field: f.Name, Min: lo, Max: hi})
+		}
+	}
+	return out
+}
+
+// Finish allocates a contiguous extent, writes the stream, and returns the
+// segment metadata. The writer must not be reused afterwards.
+func (w *Writer) Finish() (Meta, error) {
+	payload := uint64(w.file.PayloadSize())
+	npages := (uint64(len(w.buf)) + payload - 1) / payload
+	if npages == 0 {
+		npages = 1
+	}
+	start, err := w.file.AllocateRun(npages)
+	if err != nil {
+		return Meta{}, err
+	}
+	for i := uint64(0); i < npages; i++ {
+		lo := i * payload
+		hi := lo + payload
+		if hi > uint64(len(w.buf)) {
+			hi = uint64(len(w.buf))
+		}
+		var chunk []byte
+		if lo < uint64(len(w.buf)) {
+			chunk = w.buf[lo:hi]
+		}
+		if err := w.file.WritePage(start+pager.PageID(i), chunk); err != nil {
+			return Meta{}, err
+		}
+	}
+	return Meta{
+		ExtentStart: start,
+		ExtentPages: npages,
+		UsedBytes:   uint64(len(w.buf)),
+		Rows:        w.rows,
+		Blocks:      w.blocks,
+	}, nil
+}
+
+// PageSource supplies page payloads to a Reader. *pager.File implements it
+// directly; *buffer.Pool implements it with caching in front of the pager.
+type PageSource interface {
+	ReadPage(pager.PageID) ([]byte, error)
+	PayloadSize() int
+}
+
+// Reader decodes blocks of a rendered segment, counting page I/O through
+// the page source. A one-page lookbehind keeps sequential block reads from
+// double-counting shared boundary pages.
+type Reader struct {
+	file     PageSource
+	meta     Meta
+	spec     Spec
+	codecs   []compress.Codec
+	lastPage pager.PageID
+	lastBuf  []byte
+}
+
+// NewReader opens a segment for reading.
+func NewReader(file PageSource, meta Meta, spec Spec) (*Reader, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	codecs := make([]compress.Codec, len(spec.Codecs))
+	for i, name := range spec.Codecs {
+		c, err := compress.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		codecs[i] = c
+	}
+	return &Reader{file: file, meta: meta, spec: spec, codecs: codecs}, nil
+}
+
+// Meta returns the segment metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// NumBlocks returns the number of blocks.
+func (r *Reader) NumBlocks() int { return len(r.meta.Blocks) }
+
+// readRange reads [off, off+n) from the segment stream via whole-page reads.
+func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
+	if off+uint64(n) > r.meta.UsedBytes {
+		return nil, fmt.Errorf("segment: range [%d,%d) beyond used bytes %d", off, off+uint64(n), r.meta.UsedBytes)
+	}
+	payload := uint64(r.file.PayloadSize())
+	first := off / payload
+	last := (off + uint64(n) - 1) / payload
+	out := make([]byte, 0, n)
+	for p := first; p <= last; p++ {
+		id := r.meta.ExtentStart + pager.PageID(p)
+		var page []byte
+		if id == r.lastPage && r.lastBuf != nil {
+			page = r.lastBuf
+		} else {
+			var err error
+			page, err = r.file.ReadPage(id)
+			if err != nil {
+				return nil, err
+			}
+			r.lastPage, r.lastBuf = id, page
+		}
+		lo := uint64(0)
+		if p == first {
+			lo = off - p*payload
+		}
+		hi := payload
+		if p == last {
+			hi = off + uint64(n) - p*payload
+		}
+		out = append(out, page[lo:hi]...)
+	}
+	return out, nil
+}
+
+// ReadBlock decodes block i into column vectors. wantCols selects columns
+// by index (nil = all); unselected columns return nil vectors but their
+// bytes are still fetched with the block (they share its pages — projecting
+// saves CPU, not I/O; to save I/O, store the column in its own segment).
+func (r *Reader) ReadBlock(i int, wantCols []int) ([][]value.Value, error) {
+	if i < 0 || i >= len(r.meta.Blocks) {
+		return nil, fmt.Errorf("segment: block %d out of range", i)
+	}
+	bm := r.meta.Blocks[i]
+	raw, err := r.readRange(bm.Off, bm.Len)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("segment: block %d truncated", i)
+	}
+	bodyLen := binary.LittleEndian.Uint32(raw)
+	if uint32(len(raw)) < 4+bodyLen {
+		return nil, fmt.Errorf("segment: block %d short body", i)
+	}
+	body := raw[4 : 4+bodyLen]
+	// cell (8 bytes) then nrows.
+	if len(body) < 9 {
+		return nil, fmt.Errorf("segment: block %d corrupt header", i)
+	}
+	nrows, sz := binary.Uvarint(body[8:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("segment: block %d bad row count", i)
+	}
+	off := 8 + sz
+
+	want := make(map[int]bool, len(wantCols))
+	for _, c := range wantCols {
+		want[c] = true
+	}
+	out := make([][]value.Value, len(r.spec.Fields))
+	for c := range r.spec.Fields {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("segment: block %d truncated at column %d", i, c)
+		}
+		chunkLen := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		if off+int(chunkLen) > len(body) {
+			return nil, fmt.Errorf("segment: block %d column %d overruns body", i, c)
+		}
+		chunk := body[off : off+int(chunkLen)]
+		off += int(chunkLen)
+		if wantCols != nil && !want[c] {
+			continue
+		}
+		vals, err := r.codecs[c].Decode(chunk, r.spec.Fields[c].Type)
+		if err != nil {
+			return nil, fmt.Errorf("segment: block %d field %q: %w", i, r.spec.Fields[c].Name, err)
+		}
+		if uint64(len(vals)) != nrows {
+			return nil, fmt.Errorf("segment: block %d field %q: %d values, %d rows", i, r.spec.Fields[c].Name, len(vals), nrows)
+		}
+		out[c] = vals
+	}
+	return out, nil
+}
+
+// BlockForRow returns the index of the block containing global row position
+// pos, via binary search over cumulative row counts.
+func (r *Reader) BlockForRow(pos int64) (int, error) {
+	if pos < 0 || pos >= r.meta.Rows {
+		return 0, fmt.Errorf("segment: row %d out of range [0,%d)", pos, r.meta.Rows)
+	}
+	lo, hi := 0, len(r.meta.Blocks)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.meta.Blocks[mid].RowStart <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// Free releases the segment's extent back to the page file.
+func Free(file *pager.File, meta Meta) error {
+	if meta.ExtentPages == 0 {
+		return nil
+	}
+	return file.FreeRun(meta.ExtentStart, meta.ExtentPages)
+}

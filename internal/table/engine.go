@@ -1,0 +1,638 @@
+// Package table is RodentStore's storage backend (paper §2, §4): it renders
+// compiled layout plans into segments on disk and serves the access-method
+// API of §4.1 — scan with optional projection/predicate/order, positional
+// and multidimensional getElement, cost estimation, and order_list.
+//
+// A table's stored form is a set of aligned vertical partitions (segments)
+// over the final row stream produced by the layout pipeline. Newly inserted
+// rows accumulate as unorganized tail batches ("reorganize only new data",
+// paper §5); Reorganize folds them into the main layout, eagerly or lazily
+// on next access.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/layout"
+	"rodentstore/internal/pager"
+	"rodentstore/internal/segment"
+	"rodentstore/internal/transforms"
+	"rodentstore/internal/txn"
+	"rodentstore/internal/value"
+	"rodentstore/internal/zorder"
+)
+
+// FoldStrategy selects the fold rendering algorithm of §4.2.
+type FoldStrategy string
+
+// Fold rendering strategies.
+const (
+	// FoldHash is the hash-join-like rendering (default).
+	FoldHash FoldStrategy = "hash"
+	// FoldNestedLoop is the paper's Algorithm 1 (two nested for loops).
+	FoldNestedLoop FoldStrategy = "nestedloop"
+)
+
+// ReorgMode selects when a layout change is applied (paper §5).
+type ReorgMode string
+
+// Reorganization modes.
+const (
+	// ReorgEager rewrites every object immediately.
+	ReorgEager ReorgMode = "eager"
+	// ReorgLazy marks the table and rewrites on next access.
+	ReorgLazy ReorgMode = "lazy"
+)
+
+// Engine is the storage backend over one page file.
+type Engine struct {
+	file  *pager.File
+	cat   *catalog.Catalog
+	locks *txn.Manager
+	// Source is where readers fetch pages: the pager itself (cold, exact
+	// page counts) or a buffer.Pool wrapped around it (warm).
+	Source segment.PageSource
+	// Fold selects the fold rendering strategy.
+	Fold FoldStrategy
+
+	mu    sync.Mutex
+	specs map[string]*layout.Spec // compile cache keyed by expr text
+}
+
+// NewEngine creates an engine over an open page file and catalog. lockMgr
+// may be nil to disable table-level locking (single-threaded use).
+func NewEngine(file *pager.File, cat *catalog.Catalog, lockMgr *txn.Manager) *Engine {
+	return &Engine{
+		file:   file,
+		cat:    cat,
+		locks:  lockMgr,
+		Source: file,
+		Fold:   FoldHash,
+		specs:  make(map[string]*layout.Spec),
+	}
+}
+
+// withLock takes a table-level lock around fn.
+func (e *Engine) withLock(name string, mode txn.LockMode, fn func() error) error {
+	if e.locks == nil {
+		return fn()
+	}
+	t := e.locks.Begin()
+	if err := t.Lock(name, mode); err != nil {
+		t.Abort()
+		return err
+	}
+	defer t.Abort() // strict 2PL release; fn writes through the pager directly
+	return fn()
+}
+
+// compile resolves a layout expression against the current catalog schemas,
+// with caching.
+func (e *Engine) compile(exprText string) (*layout.Spec, error) {
+	e.mu.Lock()
+	if spec, ok := e.specs[exprText]; ok {
+		e.mu.Unlock()
+		return spec, nil
+	}
+	e.mu.Unlock()
+	expr, err := algebra.Parse(exprText)
+	if err != nil {
+		return nil, err
+	}
+	schemas, err := e.cat.Schemas()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := layout.Compile(expr, schemas)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.specs[exprText] = spec
+	e.mu.Unlock()
+	return spec, nil
+}
+
+// invalidateSpecCache drops cached plans (schemas changed).
+func (e *Engine) invalidateSpecCache() {
+	e.mu.Lock()
+	e.specs = make(map[string]*layout.Spec)
+	e.mu.Unlock()
+}
+
+// Create registers a table with its logical schema and layout expression.
+// Nothing is rendered until Load.
+func (e *Engine) Create(name string, schema *value.Schema, layoutExpr string) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		if e.cat.Has(name) {
+			return fmt.Errorf("table: %q already exists", name)
+		}
+		// Validate the layout against a catalog view that includes the new
+		// table.
+		schemas, err := e.cat.Schemas()
+		if err != nil {
+			return err
+		}
+		schemas[name] = schema
+		expr, err := algebra.Parse(layoutExpr)
+		if err != nil {
+			return err
+		}
+		spec, err := layout.Compile(expr, schemas)
+		if err != nil {
+			return err
+		}
+		if spec.Table != name {
+			return fmt.Errorf("table: layout %q is for table %q, not %q", layoutExpr, spec.Table, name)
+		}
+		e.invalidateSpecCache()
+		return e.cat.Put(&catalog.Table{
+			Name:       name,
+			Fields:     catalog.FieldsOf(schema),
+			LayoutExpr: expr.String(),
+		})
+	})
+}
+
+// Drop removes a table and frees its extents.
+func (e *Engine) Drop(name string) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		if err := freeAll(e.file, tab); err != nil {
+			return err
+		}
+		e.invalidateSpecCache()
+		return e.cat.Delete(name)
+	})
+}
+
+func freeAll(file *pager.File, tab *catalog.Table) error {
+	for _, s := range tab.Segments {
+		if err := segment.Free(file, s.Meta); err != nil {
+			return err
+		}
+	}
+	for _, batch := range tab.Tails {
+		for _, s := range batch {
+			if err := segment.Free(file, s.Meta); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load bulk-loads rows into an empty table, rendering the layout. Rows must
+// match the logical schema. Use Insert to add data afterwards.
+func (e *Engine) Load(name string, rows []value.Row) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		if tab.RowCount > 0 {
+			return fmt.Errorf("table: %q already loaded (%d rows); use Insert or Reorganize", name, tab.RowCount)
+		}
+		schema, err := tab.Schema()
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			if err := schema.Validate(r); err != nil {
+				return fmt.Errorf("table: row %d: %w", i, err)
+			}
+		}
+		return e.render(tab, schema, rows)
+	})
+}
+
+// Insert appends rows as an unorganized tail batch. The main layout is not
+// touched (the "reorganize only new data" strategy of §5); call Reorganize
+// to merge.
+func (e *Engine) Insert(name string, rows []value.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		schema, err := tab.Schema()
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			if err := schema.Validate(r); err != nil {
+				return fmt.Errorf("table: row %d: %w", i, err)
+			}
+		}
+		spec, err := e.compile(tab.LayoutExpr)
+		if err != nil {
+			return err
+		}
+		// Tails hold final-schema rows: apply the per-row pipeline steps
+		// (project, select) but no reordering/grid — tails are unorganized.
+		rel := transforms.Relation{Schema: schema, Rows: rows}
+		rel, err = e.applySteps(rel, spec, true)
+		if err != nil {
+			return err
+		}
+		var batch []catalog.SegmentEntry
+		for _, def := range spec.Segments {
+			entry, err := e.writeSegment(rel, def, spec.RowsPerBlock, nil, nil)
+			if err != nil {
+				return err
+			}
+			batch = append(batch, entry)
+		}
+		tab.Tails = append(tab.Tails, batch)
+		tab.RowCount += int64(len(rel.Rows))
+		dropIndexes(tab) // positions shift; indexes describe one rendering
+		return e.cat.Put(tab)
+	})
+}
+
+// AlterLayout changes the table's layout expression. ReorgEager re-renders
+// immediately; ReorgLazy defers to the next access (paper §5).
+func (e *Engine) AlterLayout(name, layoutExpr string, mode ReorgMode) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		expr, err := algebra.Parse(layoutExpr)
+		if err != nil {
+			return err
+		}
+		schemas, err := e.cat.Schemas()
+		if err != nil {
+			return err
+		}
+		spec, err := layout.Compile(expr, schemas)
+		if err != nil {
+			return err
+		}
+		if spec.Table != name {
+			return fmt.Errorf("table: layout %q is for table %q, not %q", layoutExpr, spec.Table, name)
+		}
+		switch mode {
+		case ReorgEager:
+			tab.LayoutExpr = expr.String()
+			tab.NeedsReorg = false
+			tab.PendingExpr = ""
+			if err := e.cat.Put(tab); err != nil {
+				return err
+			}
+			return e.reorganizeLocked(tab)
+		case ReorgLazy:
+			tab.PendingExpr = expr.String()
+			tab.NeedsReorg = true
+			return e.cat.Put(tab)
+		default:
+			return fmt.Errorf("table: unknown reorg mode %q", mode)
+		}
+	})
+}
+
+// Reorganize re-renders the table under its current (or pending) layout,
+// merging tail batches into the main segments.
+func (e *Engine) Reorganize(name string) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		return e.reorganizeLocked(tab)
+	})
+}
+
+// reorganizeLocked re-renders tab. Caller holds the table lock.
+func (e *Engine) reorganizeLocked(tab *catalog.Table) error {
+	schema, err := tab.Schema()
+	if err != nil {
+		return err
+	}
+	if tab.NeedsReorg && tab.PendingExpr != "" {
+		tab.LayoutExpr = tab.PendingExpr
+		tab.PendingExpr = ""
+	}
+	tab.NeedsReorg = false
+	// Read everything back in logical (base schema) form. Reorganization
+	// requires the stored representation to retain the full logical schema;
+	// projected layouts reorganize over their final schema instead.
+	rows, readSchema, err := e.readAllRows(tab)
+	if err != nil {
+		return err
+	}
+	old := *tab // snapshot for extent freeing after render
+	if readSchema.String() != schema.String() {
+		// The stored form dropped attributes (e.g. project[lat,lon]); the
+		// new layout is compiled against what is actually stored.
+		return e.renderNarrowed(tab, readSchema, rows, &old)
+	}
+	if err := e.render(tab, schema, rows); err != nil {
+		return err
+	}
+	return freeAll(e.file, &old)
+}
+
+// renderNarrowed handles reorganization of layouts whose stored schema is a
+// projection of the logical one: the pipeline runs against the stored
+// schema, so steps referencing dropped fields fail with a clear error.
+func (e *Engine) renderNarrowed(tab *catalog.Table, stored *value.Schema, rows []value.Row, old *catalog.Table) error {
+	spec, err := e.compileAgainst(tab.LayoutExpr, tab.Name, stored)
+	if err != nil {
+		return fmt.Errorf("table: reorganize %q: layout needs attributes the stored form dropped: %w", tab.Name, err)
+	}
+	if err := e.renderWithSpec(tab, stored, rows, spec); err != nil {
+		return err
+	}
+	return freeAll(e.file, old)
+}
+
+// compileAgainst compiles exprText treating `name` as having the given
+// schema (bypassing the catalog's logical schema).
+func (e *Engine) compileAgainst(exprText, name string, schema *value.Schema) (*layout.Spec, error) {
+	expr, err := algebra.Parse(exprText)
+	if err != nil {
+		return nil, err
+	}
+	schemas, err := e.cat.Schemas()
+	if err != nil {
+		return nil, err
+	}
+	schemas[name] = schema
+	return layout.Compile(expr, schemas)
+}
+
+// render compiles the table's layout and materializes rows into segments,
+// replacing the catalog entry. It does NOT free old extents (callers that
+// re-render must snapshot and free).
+func (e *Engine) render(tab *catalog.Table, schema *value.Schema, rows []value.Row) error {
+	spec, err := e.compile(tab.LayoutExpr)
+	if err != nil {
+		return err
+	}
+	return e.renderWithSpec(tab, schema, rows, spec)
+}
+
+func (e *Engine) renderWithSpec(tab *catalog.Table, schema *value.Schema, rows []value.Row, spec *layout.Spec) error {
+	rel := transforms.Relation{Schema: schema, Rows: rows}
+	rel, err := e.applySteps(rel, spec, false)
+	if err != nil {
+		return err
+	}
+
+	var bounds []transforms.GridBounds
+	var ordered []cellRun
+	if spec.Grid != nil {
+		bounds, err = transforms.ComputeGridBounds(rel, spec.Grid.Dims)
+		if err != nil {
+			return err
+		}
+		cells, err := transforms.GridAssign(rel, bounds)
+		if err != nil {
+			return err
+		}
+		ordered, err = orderCells(cells, bounds, spec.Grid.Curve)
+		if err != nil {
+			return err
+		}
+	} else {
+		ordered = []cellRun{{cell: segment.NoCell, rows: rel.Rows}}
+	}
+
+	var entries []catalog.SegmentEntry
+	for _, def := range spec.Segments {
+		entry, err := e.writeSegment(rel, def, spec.RowsPerBlock, ordered, bounds)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry)
+	}
+
+	tab.Segments = entries
+	tab.Tails = nil
+	tab.RowCount = int64(len(rel.Rows))
+	dropIndexes(tab)
+	tab.GridBounds = nil
+	for _, b := range bounds {
+		tab.GridBounds = append(tab.GridBounds, catalog.GridBoundsMeta{
+			Field: b.Field, Min: b.Min, Max: b.Max, Cells: b.Cells,
+		})
+	}
+	return e.cat.Put(tab)
+}
+
+// cellRun is one grid cell's rows (or the whole stream for ungridded).
+type cellRun struct {
+	cell uint64
+	rows []value.Row
+}
+
+// orderCells arranges cells along the layout's space-filling curve.
+func orderCells(cells map[uint64][]value.Row, bounds []transforms.GridBounds, curve algebra.CurveKind) ([]cellRun, error) {
+	maxCells := 0
+	for _, b := range bounds {
+		if b.Cells > maxCells {
+			maxCells = b.Cells
+		}
+	}
+	bits := 1
+	for (1 << bits) < maxCells {
+		bits++
+	}
+	curveKey := func(cell uint64) (uint64, error) {
+		coords := transforms.CellCoords(cell, bounds)
+		switch curve {
+		case algebra.CurveRowMajor, "":
+			return cell, nil
+		case algebra.CurveZOrder:
+			cs := make([]uint32, len(coords))
+			for i, c := range coords {
+				cs[i] = uint32(c)
+			}
+			return zorder.InterleaveN(cs, bits)
+		case algebra.CurveHilbert:
+			if len(coords) != 2 {
+				return 0, fmt.Errorf("table: hilbert needs 2 dims")
+			}
+			return zorder.Hilbert2(uint(bits), uint32(coords[0]), uint32(coords[1])), nil
+		default:
+			return 0, fmt.Errorf("table: unknown curve %q", curve)
+		}
+	}
+	type keyed struct {
+		key  uint64
+		cell uint64
+	}
+	ks := make([]keyed, 0, len(cells))
+	for cell := range cells {
+		k, err := curveKey(cell)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, keyed{k, cell})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]cellRun, len(ks))
+	for i, k := range ks {
+		out[i] = cellRun{cell: k.cell, rows: cells[k.cell]}
+	}
+	return out, nil
+}
+
+// writeSegment renders one vertical partition. ordered carries the
+// cell-ordered row runs (nil means "use rel.Rows as one run", used by
+// Insert tails).
+func (e *Engine) writeSegment(rel transforms.Relation, def layout.SegmentDef, rowsPerBlock int, ordered []cellRun, bounds []transforms.GridBounds) (catalog.SegmentEntry, error) {
+	proj, idx, err := rel.Schema.Project(def.Fields)
+	if err != nil {
+		return catalog.SegmentEntry{}, err
+	}
+	spec := segment.Spec{Fields: proj.Fields, Codecs: def.Codecs}
+	w, err := segment.NewWriter(e.file, spec)
+	if err != nil {
+		return catalog.SegmentEntry{}, err
+	}
+	if ordered == nil {
+		ordered = []cellRun{{cell: segment.NoCell, rows: rel.Rows}}
+	}
+	if rowsPerBlock <= 0 {
+		rowsPerBlock = segment.DefaultRowsPerBlock
+	}
+	projRow := func(r value.Row) value.Row {
+		out := make(value.Row, len(idx))
+		for i, c := range idx {
+			out[i] = r[c]
+		}
+		return out
+	}
+	for _, run := range ordered {
+		for lo := 0; lo < len(run.rows); lo += rowsPerBlock {
+			hi := lo + rowsPerBlock
+			if hi > len(run.rows) {
+				hi = len(run.rows)
+			}
+			block := make([]value.Row, hi-lo)
+			for i, r := range run.rows[lo:hi] {
+				block[i] = projRow(r)
+			}
+			if err := w.WriteBlock(run.cell, block); err != nil {
+				return catalog.SegmentEntry{}, err
+			}
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		return catalog.SegmentEntry{}, err
+	}
+	return catalog.SegmentEntry{Fields: def.Fields, Codecs: def.Codecs, Meta: meta}, nil
+}
+
+// applySteps runs the layout pipeline over the relation. When tailOnly is
+// true, only per-row steps run (project/select/fold would corrupt tail
+// semantics differently: project and select apply; reordering steps are
+// skipped because tails are unorganized by design; fold/unfold/limit make
+// incremental inserts ill-defined and are rejected).
+func (e *Engine) applySteps(rel transforms.Relation, spec *layout.Spec, tailOnly bool) (transforms.Relation, error) {
+	for _, st := range spec.Steps {
+		var err error
+		switch st.Kind {
+		case layout.StepSelect:
+			rel, err = transforms.Select(rel, st.Pred)
+		case layout.StepProject:
+			rel, err = transforms.Project(rel, st.Fields)
+		case layout.StepOrderBy:
+			if tailOnly {
+				continue
+			}
+			rel, err = transforms.OrderBy(rel, st.Keys)
+		case layout.StepGroupBy:
+			if tailOnly {
+				continue
+			}
+			rel, err = transforms.GroupBy(rel, st.Fields)
+		case layout.StepLimit:
+			if tailOnly {
+				return rel, fmt.Errorf("table: cannot Insert into a limit[] layout; Reorganize instead")
+			}
+			rel = transforms.Limit(rel, st.N)
+		case layout.StepFold:
+			if tailOnly {
+				return rel, fmt.Errorf("table: cannot Insert into a folded layout; Reorganize instead")
+			}
+			if e.Fold == FoldNestedLoop {
+				rel, err = transforms.FoldNestedLoop(rel, st.Fields, st.By)
+			} else {
+				rel, err = transforms.FoldHash(rel, st.Fields, st.By)
+			}
+		case layout.StepUnfold:
+			if tailOnly {
+				return rel, fmt.Errorf("table: cannot Insert into an unfold layout; Reorganize instead")
+			}
+			rel, err = transforms.Unfold(rel, st.Fields, st.Kinds)
+		default:
+			err = fmt.Errorf("table: unknown step %q", st.Kind)
+		}
+		if err != nil {
+			return rel, err
+		}
+	}
+	return rel, nil
+}
+
+// readAllRows reads the table's full stored content (main + tails) in
+// stored order, returning the stored schema.
+func (e *Engine) readAllRows(tab *catalog.Table) ([]value.Row, *value.Schema, error) {
+	cur, err := e.scanStored(tab, nil, algebra.True, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cur.Close()
+	var rows []value.Row
+	for {
+		row, ok, err := cur.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	return rows, cur.Schema(), nil
+}
+
+// storedSchema reconstructs the final (stored) schema of the table from its
+// segment entries.
+func storedSchema(tab *catalog.Table) (*value.Schema, error) {
+	logical, err := tab.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if len(tab.Segments) == 0 {
+		return logical, nil
+	}
+	var fields []value.Field
+	for _, seg := range tab.Segments {
+		for _, f := range seg.Fields {
+			i := logical.Index(f)
+			if i >= 0 {
+				fields = append(fields, logical.Fields[i])
+				continue
+			}
+			// Folded synthetic field.
+			fields = append(fields, value.Field{Name: f, Type: value.List})
+		}
+	}
+	return value.NewSchema(fields...)
+}

@@ -1,0 +1,151 @@
+package table
+
+import (
+	"testing"
+
+	"rodentstore/internal/algebra"
+)
+
+func TestCreateIndexAndScan(t *testing.T) {
+	e, f, rows := setup(t, "chunk[64](rows(Traces))", 4000)
+	if err := e.CreateIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := e.Indexes("Traces")
+	if err != nil || len(idx) != 1 || idx[0] != "t" {
+		t.Fatalf("indexes: %v %v", idx, err)
+	}
+
+	pred, _ := algebra.ParsePredicate("t >= 100 and t < 120")
+	cur, err := e.IndexScan("Traces", nil, pred, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	var want []int
+	schema := tracesSchema()
+	for _, r := range rows {
+		if pred.Eval(schema, r) {
+			want = append(want, 1)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("index scan: got %d rows, want %d", len(got), len(want))
+	}
+	for _, r := range got {
+		if r[0].Int() < 100 || r[0].Int() >= 120 {
+			t.Fatalf("row outside range: %v", r)
+		}
+	}
+
+	// The index scan must read far fewer pages than the (zone-pruning
+	// disabled) full scan on this unordered heap.
+	f.ResetStats()
+	cur2, _ := e.IndexScan("Traces", []string{"t"}, pred, "t")
+	drain(t, cur2)
+	idxPages := f.Stats().PageReads
+
+	f.ResetStats()
+	cur3, _ := e.Scan("Traces", ScanOptions{Fields: []string{"t"}, Pred: pred, NoZonePrune: true})
+	drain(t, cur3)
+	fullPages := f.Stats().PageReads
+	if idxPages*3 > fullPages {
+		t.Errorf("index scan should be much cheaper: idx=%d full=%d pages", idxPages, fullPages)
+	}
+}
+
+func TestIndexScanWithProjectionAndExtraPredicate(t *testing.T) {
+	e, _, _ := setup(t, "rows(Traces)", 1000)
+	if err := e.CreateIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+	// Conjunct on a non-indexed field is post-filtered.
+	pred, _ := algebra.ParsePredicate(`t >= 10 and t < 500 and id = "car-1"`)
+	cur, err := e.IndexScan("Traces", []string{"t", "id"}, pred, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	if len(got) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range got {
+		if r[1].Str() != "car-1" {
+			t.Fatalf("post-filter failed: %v", r)
+		}
+		if len(r) != 2 {
+			t.Fatalf("projection width: %d", len(r))
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	e, _, _ := setup(t, "rows(Traces)", 100)
+	if err := e.CreateIndex("Traces", "bogus"); err == nil {
+		t.Error("indexing unknown field should fail")
+	}
+	if err := e.CreateIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateIndex("Traces", "t"); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	pred, _ := algebra.ParsePredicate("lat > 0")
+	if _, err := e.IndexScan("Traces", nil, pred, "lat"); err == nil {
+		t.Error("index scan without index should fail")
+	}
+	if _, err := e.IndexScan("Traces", nil, algebra.True, "t"); err == nil {
+		t.Error("index scan without bounds should fail")
+	}
+	if err := e.DropIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropIndex("Traces", "t"); err == nil {
+		t.Error("double drop should fail")
+	}
+	// Projected-away field cannot be indexed.
+	e2, _, _ := setup(t, "project[lat,lon](Traces)", 100)
+	if err := e2.CreateIndex("Traces", "t"); err == nil {
+		t.Error("indexing dropped field should fail")
+	}
+}
+
+func TestIndexDroppedOnDataChange(t *testing.T) {
+	e, _, _ := setup(t, "orderby[t](Traces)", 200)
+	e.CreateIndex("Traces", "t")
+	if err := e.Insert("Traces", traceRows(10)); err != nil {
+		t.Fatal(err)
+	}
+	if idx, _ := e.Indexes("Traces"); len(idx) != 0 {
+		t.Error("insert should drop indexes (positions shifted)")
+	}
+	e.CreateIndex("Traces", "t")
+	if err := e.Reorganize("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	if idx, _ := e.Indexes("Traces"); len(idx) != 0 {
+		t.Error("reorganize should drop indexes")
+	}
+}
+
+func TestIndexOnStringField(t *testing.T) {
+	e, _, rows := setup(t, "rows(Traces)", 600)
+	if err := e.CreateIndex("Traces", "id"); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := algebra.ParsePredicate(`id = "car-2"`)
+	cur, err := e.IndexScan("Traces", nil, pred, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	want := 0
+	for _, r := range rows {
+		if r[3].Str() == "car-2" {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("string index: got %d want %d", len(got), want)
+	}
+}

@@ -1,0 +1,712 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/cost"
+	"rodentstore/internal/segment"
+	"rodentstore/internal/transforms"
+	"rodentstore/internal/txn"
+	"rodentstore/internal/value"
+)
+
+// ScanOptions are the optional projection, range predicate and sort order
+// of the scan method (paper §4.1).
+type ScanOptions struct {
+	// Fields projects the output (nil = all stored fields).
+	Fields []string
+	// Pred filters rows; grid layouts and zone maps prune blocks with it.
+	Pred algebra.Predicate
+	// Order requests a sort order. If it matches the stored order the scan
+	// streams; otherwise the result is materialized and re-sorted (the
+	// paper's §4.1: "RodentStore may have to re-sort the data").
+	Order []algebra.OrderKey
+	// NoZonePrune disables block zone-map pruning (grid cell pruning still
+	// applies). Benchmarks use it to reproduce baselines that lack zone
+	// maps, such as the paper's raw heap scans.
+	NoZonePrune bool
+}
+
+// Scan opens a cursor over the table (paper §4.1 scan). Lazy-reorganization
+// marks are honored before the scan runs.
+func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
+	var cur *Cursor
+	err := e.withLock(name, txn.Shared, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		if tab.NeedsReorg {
+			if err := e.reorganizeLocked(tab); err != nil {
+				return err
+			}
+		}
+		cur, err = e.scanStored2(tab, opts.Fields, opts.Pred, false, opts.NoZonePrune)
+		if err != nil {
+			return err
+		}
+		if len(opts.Order) > 0 && !e.orderMatchesStored(tab, opts.Order) {
+			return cur.materializeSort(opts.Order)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// orderMatchesStored reports whether the requested order is a prefix of a
+// stored order and no unordered tail batches exist.
+func (e *Engine) orderMatchesStored(tab *catalog.Table, order []algebra.OrderKey) bool {
+	if len(tab.Tails) > 0 {
+		return false
+	}
+	spec, err := e.compile(tab.LayoutExpr)
+	if err != nil {
+		return false
+	}
+	for _, stored := range spec.StoredOrders() {
+		if len(order) > len(stored) {
+			continue
+		}
+		match := true
+		for i, k := range order {
+			if stored[i] != k {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// GetElement positions a cursor at the element at index (paper §4.1
+// getElement): a single index addresses the row at that position in stored
+// order; for gridded tables a multidimensional index addresses a grid cell
+// (the cursor starts at the cell's first row). Subsequent Next calls
+// continue in stored order, which is what the API's next() specifies.
+func (e *Engine) GetElement(name string, fields []string, index []int64) (*Cursor, error) {
+	var cur *Cursor
+	err := e.withLock(name, txn.Shared, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		if tab.NeedsReorg {
+			if err := e.reorganizeLocked(tab); err != nil {
+				return err
+			}
+		}
+		switch {
+		case len(index) == 1:
+			cur, err = e.scanStored(tab, fields, algebra.True, false)
+			if err != nil {
+				return err
+			}
+			return cur.seekRow(index[0])
+		case len(index) == len(tab.GridBounds) && len(tab.GridBounds) > 1:
+			bounds := boundsOf(tab)
+			var cell uint64
+			for d, b := range bounds {
+				if index[d] < 0 || index[d] >= int64(b.Cells) {
+					return fmt.Errorf("table: cell index %d out of range [0,%d) in dimension %q", index[d], b.Cells, b.Field)
+				}
+				cell = cell*uint64(b.Cells) + uint64(index[d])
+			}
+			cur, err = e.scanStored(tab, fields, algebra.True, false)
+			if err != nil {
+				return err
+			}
+			return cur.seekCell(cell)
+		default:
+			return fmt.Errorf("table: index arity %d (table has %d grid dimensions)", len(index), len(tab.GridBounds))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// OrderList returns the sort orders the current organization serves
+// efficiently (paper §4.1 order_list). Gridded layouts additionally report
+// their cell curve as a pseudo-order string via GridOrder.
+func (e *Engine) OrderList(name string) ([][]algebra.OrderKey, error) {
+	tab, err := e.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := e.compile(tab.LayoutExpr)
+	if err != nil {
+		return nil, err
+	}
+	return spec.StoredOrders(), nil
+}
+
+// GridOrder describes the cell ordering of a gridded table ("" if
+// ungridded), e.g. "zorder(lat,lon)".
+func (e *Engine) GridOrder(name string) (string, error) {
+	tab, err := e.cat.Get(name)
+	if err != nil {
+		return "", err
+	}
+	if len(tab.GridBounds) == 0 {
+		return "", nil
+	}
+	spec, err := e.compile(tab.LayoutExpr)
+	if err != nil || spec.Grid == nil {
+		return "", err
+	}
+	fields := ""
+	for i, d := range spec.Grid.Dims {
+		if i > 0 {
+			fields += ","
+		}
+		fields += d.Field
+	}
+	return string(spec.Grid.Curve) + "(" + fields + ")", nil
+}
+
+// RowCount returns the table's row count.
+func (e *Engine) RowCount(name string) (int64, error) {
+	tab, err := e.cat.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	return tab.RowCount, nil
+}
+
+// blockRef addresses one block within one part (main or tail batch).
+type blockRef struct {
+	part  int
+	block int
+}
+
+// part is one renderable unit: the main segments or one tail batch.
+type part struct {
+	entries []catalog.SegmentEntry
+	readers []*segment.Reader // parallel to entries, only for needed segments (nil otherwise)
+	// outCols maps each decoded field to (segment index, column index).
+	fieldSeg map[string][2]int
+	rows     int64
+}
+
+// Cursor iterates rows of a scan (paper §4.1 next). Cursors are not safe
+// for concurrent use.
+type Cursor struct {
+	schema    *value.Schema // output schema (projection applied)
+	decoded   *value.Schema // decoded schema (projection ∪ predicate fields)
+	outIdx    []int         // positions of output fields within decoded rows
+	pred      algebra.Predicate
+	parts     []*part
+	blocks    []blockRef
+	cur       int
+	buf       []value.Row
+	bufPos    int
+	exhausted bool
+	// sorted, when non-nil, replaces streaming (materialized order-by).
+	sorted    []value.Row
+	sortedPos int
+}
+
+// Schema returns the cursor's output schema.
+func (c *Cursor) Schema() *value.Schema { return c.schema }
+
+// Close releases cursor resources.
+func (c *Cursor) Close() { c.exhausted = true; c.buf = nil; c.sorted = nil }
+
+// Next returns the next row, reporting ok=false at the end (paper §4.1).
+func (c *Cursor) Next() (value.Row, bool, error) {
+	if c.sorted != nil {
+		if c.sortedPos >= len(c.sorted) {
+			return nil, false, nil
+		}
+		r := c.sorted[c.sortedPos]
+		c.sortedPos++
+		return r, true, nil
+	}
+	for {
+		if c.exhausted {
+			return nil, false, nil
+		}
+		if c.bufPos < len(c.buf) {
+			r := c.buf[c.bufPos]
+			c.bufPos++
+			return r, true, nil
+		}
+		if c.cur >= len(c.blocks) {
+			c.exhausted = true
+			return nil, false, nil
+		}
+		if err := c.loadBlock(c.blocks[c.cur]); err != nil {
+			return nil, false, err
+		}
+		c.cur++
+	}
+}
+
+// loadBlock decodes one block, filters, and projects into c.buf.
+func (c *Cursor) loadBlock(ref blockRef) error {
+	p := c.parts[ref.part]
+	// Decode needed columns from each needed segment.
+	colsBySeg := make([][][]value.Value, len(p.entries))
+	var nrows int
+	for si, r := range p.readers {
+		if r == nil {
+			continue
+		}
+		want := segColumns(p, si, c.decoded)
+		cols, err := r.ReadBlock(ref.block, want)
+		if err != nil {
+			return err
+		}
+		colsBySeg[si] = cols
+		for _, w := range want {
+			if cols[w] != nil {
+				nrows = len(cols[w])
+			}
+		}
+	}
+	rows := make([]value.Row, 0, nrows)
+	for i := 0; i < nrows; i++ {
+		row := make(value.Row, c.decoded.Arity())
+		for fi, f := range c.decoded.Fields {
+			loc := p.fieldSeg[f.Name]
+			row[fi] = colsBySeg[loc[0]][loc[1]][i]
+		}
+		if !c.pred.IsTrue() && !c.pred.Eval(c.decoded, row) {
+			continue
+		}
+		out := make(value.Row, len(c.outIdx))
+		for oi, di := range c.outIdx {
+			out[oi] = row[di]
+		}
+		rows = append(rows, out)
+	}
+	c.buf, c.bufPos = rows, 0
+	return nil
+}
+
+// segColumns lists the column indexes of segment si needed for the decoded
+// schema.
+func segColumns(p *part, si int, decoded *value.Schema) []int {
+	var out []int
+	for _, f := range decoded.Fields {
+		loc, ok := p.fieldSeg[f.Name]
+		if ok && loc[0] == si {
+			out = append(out, loc[1])
+		}
+	}
+	return out
+}
+
+// seekRow positions the cursor at global stored position pos.
+func (c *Cursor) seekRow(pos int64) error {
+	if !c.pred.IsTrue() {
+		return fmt.Errorf("table: seekRow with predicate unsupported")
+	}
+	var before int64
+	for bi, ref := range c.blocks {
+		bm := c.parts[ref.part].entries[firstReadSeg(c.parts[ref.part])].Meta.Blocks[ref.block]
+		if before+int64(bm.Rows) > pos {
+			c.cur = bi
+			if err := c.loadBlock(ref); err != nil {
+				return err
+			}
+			c.cur++
+			c.bufPos = int(pos - before)
+			return nil
+		}
+		before += int64(bm.Rows)
+	}
+	return fmt.Errorf("table: position %d out of range [0,%d)", pos, before)
+}
+
+// seekCell positions the cursor at the first block of the given grid cell.
+func (c *Cursor) seekCell(cell uint64) error {
+	for bi, ref := range c.blocks {
+		bm := c.parts[ref.part].entries[firstReadSeg(c.parts[ref.part])].Meta.Blocks[ref.block]
+		if bm.Cell == cell {
+			c.cur = bi
+			c.buf, c.bufPos = nil, 0
+			return nil
+		}
+	}
+	return fmt.Errorf("table: grid cell %d holds no data", cell)
+}
+
+func firstReadSeg(p *part) int {
+	for si, r := range p.readers {
+		if r != nil {
+			return si
+		}
+	}
+	return 0
+}
+
+// materializeSort drains the cursor and sorts the result.
+func (c *Cursor) materializeSort(order []algebra.OrderKey) error {
+	var rows []value.Row
+	for {
+		r, ok, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	cols := make([]int, len(order))
+	desc := make([]bool, len(order))
+	for i, k := range order {
+		ci := c.schema.Index(k.Field)
+		if ci < 0 {
+			return fmt.Errorf("table: order field %q not in scan output", k.Field)
+		}
+		cols[i], desc[i] = ci, k.Desc
+	}
+	value.SortRows(rows, cols, desc)
+	c.sorted, c.sortedPos = rows, 0
+	return nil
+}
+
+// boundsOf reconstructs grid bounds from catalog metadata.
+func boundsOf(tab *catalog.Table) []transforms.GridBounds {
+	out := make([]transforms.GridBounds, len(tab.GridBounds))
+	for i, b := range tab.GridBounds {
+		out[i] = transforms.GridBounds{Field: b.Field, Min: b.Min, Max: b.Max, Cells: b.Cells}
+	}
+	return out
+}
+
+// scanStored builds a cursor over the stored representation. fields nil
+// selects all stored fields. When raw is true the scan bypasses pruning
+// (used by reorganization to read everything back).
+func (e *Engine) scanStored(tab *catalog.Table, fields []string, pred algebra.Predicate, raw bool) (*Cursor, error) {
+	return e.scanStored2(tab, fields, pred, raw, false)
+}
+
+func (e *Engine) scanStored2(tab *catalog.Table, fields []string, pred algebra.Predicate, raw, noZone bool) (*Cursor, error) {
+	stored, err := storedSchema(tab)
+	if err != nil {
+		return nil, err
+	}
+	if fields == nil {
+		fields = stored.Names()
+	}
+	outSchema, _, err := stored.Project(fields)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w (this representation does not store the field; alter the layout to include it)", err)
+	}
+	if err := pred.Validate(stored); err != nil {
+		return nil, err
+	}
+	// Decoded fields: projection ∪ predicate fields (dedup, stored order).
+	needed := make(map[string]bool)
+	for _, f := range fields {
+		needed[f] = true
+	}
+	for _, f := range pred.Fields() {
+		needed[f] = true
+	}
+	var decodedNames []string
+	for _, f := range stored.Names() {
+		if needed[f] {
+			decodedNames = append(decodedNames, f)
+		}
+	}
+	decoded, _, err := stored.Project(decodedNames)
+	if err != nil {
+		return nil, err
+	}
+	outIdx := make([]int, len(fields))
+	for i, f := range fields {
+		outIdx[i] = decoded.Index(f)
+	}
+
+	// Build parts: main + each tail batch.
+	var parts []*part
+	if len(tab.Segments) > 0 {
+		p, err := e.buildPart(tab.Segments, stored, decoded)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	for _, batch := range tab.Tails {
+		p, err := e.buildPart(batch, stored, decoded)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+
+	// Candidate blocks with grid/zone pruning.
+	prune := e.pruner(tab, pred, raw, noZone)
+	var blocks []blockRef
+	for pi, p := range parts {
+		seg0 := firstReadSeg(p)
+		for bi, bm := range p.entries[seg0].Meta.Blocks {
+			if prune(bm) {
+				continue
+			}
+			blocks = append(blocks, blockRef{part: pi, block: bi})
+		}
+	}
+
+	return &Cursor{
+		schema:  outSchema,
+		decoded: decoded,
+		outIdx:  outIdx,
+		pred:    pred,
+		parts:   parts,
+		blocks:  blocks,
+	}, nil
+}
+
+// buildPart opens readers for the segments of one part that hold decoded
+// fields.
+func (e *Engine) buildPart(entries []catalog.SegmentEntry, stored, decoded *value.Schema) (*part, error) {
+	p := &part{entries: entries, readers: make([]*segment.Reader, len(entries)), fieldSeg: make(map[string][2]int)}
+	for si, entry := range entries {
+		needsRead := false
+		for ci, f := range entry.Fields {
+			if decoded.Index(f) >= 0 {
+				p.fieldSeg[f] = [2]int{si, ci}
+				needsRead = true
+			}
+		}
+		if !needsRead {
+			continue
+		}
+		var segFields []value.Field
+		for _, f := range entry.Fields {
+			i := stored.Index(f)
+			if i < 0 {
+				return nil, fmt.Errorf("table: segment field %q missing from stored schema", f)
+			}
+			segFields = append(segFields, stored.Fields[i])
+		}
+		r, err := segment.NewReader(e.Source, entry.Meta, segment.Spec{Fields: segFields, Codecs: entry.Codecs})
+		if err != nil {
+			return nil, err
+		}
+		p.readers[si] = r
+		if entry.Meta.Rows > p.rows {
+			p.rows = entry.Meta.Rows
+		}
+	}
+	if firstReadSeg(p) >= len(p.readers) || p.readers[firstReadSeg(p)] == nil {
+		return nil, fmt.Errorf("table: no readable segment in part")
+	}
+	return p, nil
+}
+
+// pruner returns a block-skip function using grid cell ranges and zone maps.
+func (e *Engine) pruner(tab *catalog.Table, pred algebra.Predicate, raw, noZone bool) func(segment.BlockMeta) bool {
+	if raw || pred.IsTrue() {
+		return func(segment.BlockMeta) bool { return false }
+	}
+	bounds := boundsOf(tab)
+	// Per-dimension cell ranges implied by the predicate.
+	type dimRange struct {
+		lo, hi int
+		active bool
+	}
+	dimRanges := make([]dimRange, len(bounds))
+	for d, b := range bounds {
+		lo, hi, _, _, found := pred.Bounds(b.Field)
+		if !found {
+			continue
+		}
+		cl, ch := 0, b.Cells-1
+		if !lo.IsNull() {
+			cl = b.CellOf(lo.Float())
+		}
+		if !hi.IsNull() {
+			ch = b.CellOf(hi.Float())
+		}
+		dimRanges[d] = dimRange{lo: cl, hi: ch, active: true}
+	}
+	// Zone-map bounds for every predicate field.
+	type zbound struct {
+		field  string
+		lo, hi value.Value
+	}
+	var zbounds []zbound
+	if !noZone {
+		for _, f := range pred.Fields() {
+			lo, hi, _, _, found := pred.Bounds(f)
+			if found {
+				zbounds = append(zbounds, zbound{f, lo, hi})
+			}
+		}
+	}
+	return func(bm segment.BlockMeta) bool {
+		if bm.Cell != segment.NoCell && len(bounds) > 0 {
+			coords := transforms.CellCoords(bm.Cell, bounds)
+			for d, dr := range dimRanges {
+				if dr.active && (coords[d] < dr.lo || coords[d] > dr.hi) {
+					return true
+				}
+			}
+		}
+		for _, zb := range zbounds {
+			for _, z := range bm.Zones {
+				if z.Field != zb.field {
+					continue
+				}
+				if !zb.lo.IsNull() && z.Max < zb.lo.Float() {
+					return true
+				}
+				if !zb.hi.IsNull() && z.Min > zb.hi.Float() {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// EstimateScan predicts the I/O footprint of a scan without reading pages
+// (the arithmetic behind scan_cost, paper §4.1/§5: bytes of I/O + seeks).
+func (e *Engine) EstimateScan(name string, opts ScanOptions) (cost.Estimate, error) {
+	tab, err := e.cat.Get(name)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	stored, err := storedSchema(tab)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	fields := opts.Fields
+	if fields == nil {
+		fields = stored.Names()
+	}
+	needed := make(map[string]bool)
+	for _, f := range fields {
+		needed[f] = true
+	}
+	for _, f := range opts.Pred.Fields() {
+		needed[f] = true
+	}
+	prune := e.pruner(tab, opts.Pred, false, opts.NoZonePrune)
+	payload := e.file.PayloadSize()
+
+	var est cost.Estimate
+	addPart := func(entries []catalog.SegmentEntry) {
+		for _, entry := range entries {
+			read := false
+			for _, f := range entry.Fields {
+				if needed[f] {
+					read = true
+					break
+				}
+			}
+			if !read {
+				continue
+			}
+			// Collect page ranges of surviving blocks; merge adjacent runs.
+			type run struct{ lo, hi uint64 }
+			var runs []run
+			for _, bm := range entry.Meta.Blocks {
+				if prune(bm) {
+					continue
+				}
+				lo := bm.Off / uint64(payload)
+				hi := (bm.Off + uint64(bm.Len) - 1) / uint64(payload)
+				if n := len(runs); n > 0 && lo <= runs[n-1].hi+1 {
+					if hi > runs[n-1].hi {
+						runs[n-1].hi = hi
+					}
+				} else {
+					runs = append(runs, run{lo, hi})
+				}
+				est.Rows += int64(bm.Rows)
+			}
+			for _, r := range runs {
+				est.Pages += r.hi - r.lo + 1
+				est.Seeks++
+			}
+		}
+	}
+	addPart(tab.Segments)
+	for _, batch := range tab.Tails {
+		addPart(batch)
+	}
+	// Rows were counted once per segment read; normalize to one copy.
+	nread := 0
+	countSegs := func(entries []catalog.SegmentEntry) {
+		for _, entry := range entries {
+			for _, f := range entry.Fields {
+				if needed[f] {
+					nread++
+					break
+				}
+			}
+		}
+	}
+	countSegs(tab.Segments)
+	if nread > 1 && est.Rows > 0 {
+		est.Rows /= int64(nread)
+	}
+	return est, nil
+}
+
+// EstimateGet predicts the I/O footprint of a getElement call.
+func (e *Engine) EstimateGet(name string, fields []string, index []int64) (cost.Estimate, error) {
+	tab, err := e.cat.Get(name)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	stored, err := storedSchema(tab)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	if fields == nil {
+		fields = stored.Names()
+	}
+	needed := make(map[string]bool)
+	for _, f := range fields {
+		needed[f] = true
+	}
+	payload := uint64(e.file.PayloadSize())
+	var est cost.Estimate
+	for _, entry := range tab.Segments {
+		read := false
+		for _, f := range entry.Fields {
+			if needed[f] {
+				read = true
+				break
+			}
+		}
+		if !read || len(entry.Meta.Blocks) == 0 {
+			continue
+		}
+		// One block read per needed segment (positional access).
+		var bm segment.BlockMeta
+		if len(index) == 1 {
+			i := sort.Search(len(entry.Meta.Blocks), func(i int) bool {
+				return entry.Meta.Blocks[i].RowStart > index[0]
+			})
+			if i == 0 {
+				i = 1
+			}
+			bm = entry.Meta.Blocks[i-1]
+		} else {
+			bm = entry.Meta.Blocks[0]
+		}
+		est.Pages += uint64(bm.Len)/payload + 1
+		est.Seeks++
+		est.Rows++
+	}
+	return est, nil
+}

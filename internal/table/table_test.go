@@ -1,0 +1,644 @@
+package table
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/pager"
+	"rodentstore/internal/value"
+)
+
+func newEngine(t *testing.T) (*Engine, *pager.File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.rdnt")
+	f, err := pager.Create(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	cat, err := catalog.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(f, cat, nil), f, path
+}
+
+func tracesSchema() *value.Schema {
+	return value.MustSchema(
+		value.Field{Name: "t", Type: value.Int},
+		value.Field{Name: "lat", Type: value.Float},
+		value.Field{Name: "lon", Type: value.Float},
+		value.Field{Name: "id", Type: value.Str},
+	)
+}
+
+func traceRows(n int) []value.Row {
+	r := rand.New(rand.NewSource(11))
+	rows := make([]value.Row, n)
+	lat, lon := 42.36, -71.09
+	for i := range rows {
+		lat += (r.Float64() - 0.5) * 1e-3
+		lon += (r.Float64() - 0.5) * 1e-3
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewFloat(lat),
+			value.NewFloat(lon),
+			value.NewString([]string{"car-1", "car-2", "car-3"}[i%3]),
+		}
+	}
+	return rows
+}
+
+func drain(t *testing.T, c *Cursor) []value.Row {
+	t.Helper()
+	var out []value.Row
+	for {
+		r, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// rowKey builds a comparable key for multiset comparison.
+func rowKey(r value.Row) string {
+	s := ""
+	for _, v := range r {
+		s += v.String() + "|"
+	}
+	return s
+}
+
+func sameMultiset(t *testing.T, got, want []value.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d want %d", len(got), len(want))
+	}
+	g := make([]string, len(got))
+	w := make([]string, len(want))
+	for i := range got {
+		g[i], w[i] = rowKey(got[i]), rowKey(want[i])
+	}
+	sort.Strings(g)
+	sort.Strings(w)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("multiset mismatch at %d:\n got %s\nwant %s", i, g[i], w[i])
+		}
+	}
+}
+
+func setup(t *testing.T, layoutExpr string, n int) (*Engine, *pager.File, []value.Row) {
+	t.Helper()
+	e, f, _ := newEngine(t)
+	if err := e.Create("Traces", tracesSchema(), layoutExpr); err != nil {
+		t.Fatal(err)
+	}
+	rows := traceRows(n)
+	if err := e.Load("Traces", rows); err != nil {
+		t.Fatal(err)
+	}
+	return e, f, rows
+}
+
+func TestLayoutsRoundtripFullScan(t *testing.T) {
+	layouts := []string{
+		"rows(Traces)",
+		"cols(Traces)",
+		"colgroup[lat,lon](Traces)",
+		"orderby[t](Traces)",
+		"groupby[id](Traces)",
+		"orderby[t](groupby[id](Traces))",
+		"chunk[100](rows(Traces))",
+		"grid[lat,lon; 8,8](Traces)",
+		"zorder(grid[lat,lon; 8,8](Traces))",
+		"hilbert(grid[lat,lon; 8,8](Traces))",
+		"delta[lat,lon](zorder(grid[lat,lon; 8,8](Traces)))",
+		"dict[id](bitpack[t](rows(Traces)))",
+	}
+	for _, l := range layouts {
+		t.Run(l, func(t *testing.T) {
+			e, _, rows := setup(t, l, 500)
+			// Request fields in logical order: layouts like colgroup store a
+			// permuted schema, but projection restores the logical view.
+			cur, err := e.Scan("Traces", ScanOptions{Fields: tracesSchema().Names()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drain(t, cur)
+			sameMultiset(t, got, rows)
+		})
+	}
+}
+
+func TestProjectedLayoutDropsFields(t *testing.T) {
+	e, _, rows := setup(t, "project[lat,lon](orderby[t](Traces))", 300)
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	if len(got) != len(rows) || len(got[0]) != 2 {
+		t.Fatalf("projected scan shape: %d rows × %d cols", len(got), len(got[0]))
+	}
+	// Asking for a dropped field must fail with a clear error.
+	if _, err := e.Scan("Traces", ScanOptions{Fields: []string{"id"}}); err == nil {
+		t.Error("scan of dropped field should fail")
+	}
+}
+
+func TestOrderedLayoutStreamsInOrder(t *testing.T) {
+	e, _, _ := setup(t, "orderby[t desc](Traces)", 300)
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	for i := 1; i < len(got); i++ {
+		if got[i][0].Int() > got[i-1][0].Int() {
+			t.Fatal("not descending by t")
+		}
+	}
+}
+
+func TestPredicateScanMatchesBruteForce(t *testing.T) {
+	layouts := []string{
+		"rows(Traces)",
+		"orderby[lat](Traces)",
+		"zorder(grid[lat,lon; 8,8](Traces))",
+		"cols(Traces)",
+	}
+	pred, err := algebra.ParsePredicate("lat >= 42.3595 and lat < 42.3605 and lon >= -71.0905 and lon < -71.0895")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range layouts {
+		t.Run(l, func(t *testing.T) {
+			e, _, rows := setup(t, l, 800)
+			var want []value.Row
+			schema := tracesSchema()
+			for _, r := range rows {
+				if pred.Eval(schema, r) {
+					want = append(want, r)
+				}
+			}
+			cur, err := e.Scan("Traces", ScanOptions{Pred: pred})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drain(t, cur)
+			sameMultiset(t, got, want)
+		})
+	}
+}
+
+func TestGridPruningReadsFewerPages(t *testing.T) {
+	pred, _ := algebra.ParsePredicate("lat >= 42.3598 and lat < 42.3602 and lon >= -71.0902 and lon < -71.0898")
+	// Row layout: full scan.
+	eRows, fRows, _ := setup(t, "chunk[64](rows(Traces))", 4000)
+	fRows.ResetStats()
+	cur, _ := eRows.Scan("Traces", ScanOptions{Pred: pred})
+	drain(t, cur)
+	fullPages := fRows.Stats().PageReads
+
+	// Grid layout: prune to overlapping cells.
+	eGrid, fGrid, _ := setup(t, "chunk[64](zorder(grid[lat,lon; 16,16](Traces)))", 4000)
+	fGrid.ResetStats()
+	cur2, _ := eGrid.Scan("Traces", ScanOptions{Pred: pred})
+	drain(t, cur2)
+	gridPages := fGrid.Stats().PageReads
+
+	if gridPages == 0 || gridPages*4 > fullPages {
+		t.Errorf("grid pruning ineffective: grid=%d full=%d pages", gridPages, fullPages)
+	}
+}
+
+func TestColumnLayoutReadsFewerPagesForProjection(t *testing.T) {
+	eRow, fRow, _ := setup(t, "rows(Traces)", 3000)
+	fRow.ResetStats()
+	cur, _ := eRow.Scan("Traces", ScanOptions{Fields: []string{"t"}})
+	drain(t, cur)
+	rowPages := fRow.Stats().PageReads
+
+	eCol, fCol, _ := setup(t, "cols(Traces)", 3000)
+	fCol.ResetStats()
+	cur2, _ := eCol.Scan("Traces", ScanOptions{Fields: []string{"t"}})
+	drain(t, cur2)
+	colPages := fCol.Stats().PageReads
+
+	if colPages*2 > rowPages {
+		t.Errorf("column projection should read far fewer pages: col=%d row=%d", colPages, rowPages)
+	}
+}
+
+func TestScanWithOrderMaterializes(t *testing.T) {
+	e, _, rows := setup(t, "rows(Traces)", 200)
+	cur, err := e.Scan("Traces", ScanOptions{Order: []algebra.OrderKey{{Field: "lat"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	if len(got) != len(rows) {
+		t.Fatalf("rows: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][1].Float() < got[i-1][1].Float() {
+			t.Fatal("not sorted by lat")
+		}
+	}
+}
+
+func TestScanStoredOrderStreams(t *testing.T) {
+	e, _, _ := setup(t, "orderby[t](Traces)", 200)
+	cur, err := e.Scan("Traces", ScanOptions{Order: []algebra.OrderKey{{Field: "t"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	for i := 1; i < len(got); i++ {
+		if got[i][0].Int() < got[i-1][0].Int() {
+			t.Fatal("not ascending")
+		}
+	}
+}
+
+func TestGetElementPositional(t *testing.T) {
+	e, _, _ := setup(t, "orderby[t](Traces)", 300)
+	cur, err := e.GetElement("Traces", nil, []int64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := cur.Next()
+	if err != nil || !ok {
+		t.Fatalf("next: %v %v", ok, err)
+	}
+	if r[0].Int() != 42 {
+		t.Errorf("element 42 has t=%d", r[0].Int())
+	}
+	// next() continues in stored order (paper §4.1).
+	r2, ok, _ := cur.Next()
+	if !ok || r2[0].Int() != 43 {
+		t.Errorf("next after getElement: %v", r2)
+	}
+	if _, err := e.GetElement("Traces", nil, []int64{999999}); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+}
+
+func TestGetElementCell(t *testing.T) {
+	e, _, rows := setup(t, "zorder(grid[lat,lon; 4,4](Traces))", 500)
+	tab, _ := e.cat.Get("Traces")
+	bounds := boundsOf(tab)
+	// Find a cell that certainly has data: cell of row 0.
+	cx := bounds[0].CellOf(rows[0][1].Float())
+	cy := bounds[1].CellOf(rows[0][2].Float())
+	cur, err := e.GetElement("Traces", nil, []int64{int64(cx), int64(cy)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := cur.Next()
+	if err != nil || !ok {
+		t.Fatalf("cell cursor empty: %v", err)
+	}
+	if bounds[0].CellOf(r[1].Float()) != cx || bounds[1].CellOf(r[2].Float()) != cy {
+		t.Error("first row not in requested cell")
+	}
+	// Wrong arity.
+	if _, err := e.GetElement("Traces", nil, []int64{1, 2, 3}); err == nil {
+		t.Error("bad index arity should fail")
+	}
+	// Out-of-range cell.
+	if _, err := e.GetElement("Traces", nil, []int64{99, 0}); err == nil {
+		t.Error("cell index out of range should fail")
+	}
+}
+
+func TestInsertAndScanMerge(t *testing.T) {
+	e, _, rows := setup(t, "orderby[t](Traces)", 200)
+	extra := traceRows(50)
+	for i := range extra {
+		extra[i][0] = value.NewInt(int64(1000 + i))
+	}
+	if err := e.Insert("Traces", extra); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := e.Scan("Traces", ScanOptions{})
+	got := drain(t, cur)
+	sameMultiset(t, got, append(append([]value.Row{}, rows...), extra...))
+	if n, _ := e.RowCount("Traces"); n != 250 {
+		t.Errorf("row count: %d", n)
+	}
+}
+
+func TestReorganizeMergesTails(t *testing.T) {
+	e, _, rows := setup(t, "orderby[t](Traces)", 200)
+	extra := traceRows(50)
+	for i := range extra {
+		extra[i][0] = value.NewInt(int64(1000 + i))
+	}
+	e.Insert("Traces", extra)
+	if err := e.Reorganize("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	if len(tab.Tails) != 0 {
+		t.Error("tails not merged")
+	}
+	cur, _ := e.Scan("Traces", ScanOptions{})
+	got := drain(t, cur)
+	sameMultiset(t, got, append(append([]value.Row{}, rows...), extra...))
+	// After reorganize the t-order covers the inserted rows too.
+	for i := 1; i < len(got); i++ {
+		if got[i][0].Int() < got[i-1][0].Int() {
+			t.Fatal("not ordered after reorganize")
+		}
+	}
+}
+
+func TestAlterLayoutEager(t *testing.T) {
+	e, _, rows := setup(t, "rows(Traces)", 300)
+	if err := e.AlterLayout("Traces", "zorder(grid[lat,lon; 8,8](Traces))", ReorgEager); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	if len(tab.GridBounds) != 2 || tab.NeedsReorg {
+		t.Errorf("grid not rendered: %+v", tab.GridBounds)
+	}
+	cur, _ := e.Scan("Traces", ScanOptions{})
+	sameMultiset(t, drain(t, cur), rows)
+}
+
+func TestAlterLayoutLazy(t *testing.T) {
+	e, _, rows := setup(t, "rows(Traces)", 300)
+	if err := e.AlterLayout("Traces", "orderby[lat](Traces)", ReorgLazy); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	if !tab.NeedsReorg {
+		t.Fatal("lazy alter should mark NeedsReorg")
+	}
+	// First scan triggers the reorganization.
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	sameMultiset(t, got, rows)
+	for i := 1; i < len(got); i++ {
+		if got[i][1].Float() < got[i-1][1].Float() {
+			t.Fatal("lazy reorg did not apply ordering")
+		}
+	}
+	tab, _ = e.cat.Get("Traces")
+	if tab.NeedsReorg || tab.LayoutExpr != "orderby[lat](Traces)" {
+		t.Errorf("reorg state: %+v", tab.NeedsReorg)
+	}
+}
+
+func TestEstimateScanMatchesActual(t *testing.T) {
+	layouts := []string{
+		"rows(Traces)",
+		"cols(Traces)",
+		"zorder(grid[lat,lon; 8,8](Traces))",
+	}
+	pred, _ := algebra.ParsePredicate("lat >= 42.3598 and lat < 42.3602")
+	for _, l := range layouts {
+		t.Run(l, func(t *testing.T) {
+			e, f, _ := setup(t, l, 2000)
+			for _, opts := range []ScanOptions{{}, {Pred: pred}, {Fields: []string{"lat"}}} {
+				est, err := e.EstimateScan("Traces", opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.ResetStats()
+				cur, err := e.Scan("Traces", opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drain(t, cur)
+				actual := f.Stats().PageReads
+				// Estimates count whole blocks; actual reads share boundary
+				// pages, so the estimate may exceed actual slightly.
+				if est.Pages < actual || est.Pages > actual+uint64(len(f.Path()))+16 {
+					t.Errorf("opts %+v: estimated %d pages, actual %d", opts, est.Pages, actual)
+				}
+			}
+		})
+	}
+}
+
+func TestEstimateGet(t *testing.T) {
+	e, f, _ := setup(t, "cols(Traces)", 2000)
+	est, err := e.EstimateGet("Traces", []string{"lat"}, []int64{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	cur, err := e.GetElement("Traces", []string{"lat"}, []int64{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	actual := f.Stats().PageReads
+	if est.Pages < actual {
+		t.Errorf("estimate %d < actual %d pages", est.Pages, actual)
+	}
+}
+
+func TestOrderListAndGridOrder(t *testing.T) {
+	e, _, _ := setup(t, "orderby[t,id desc](Traces)", 100)
+	orders, err := e.OrderList("Traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 1 || orders[0][0].Field != "t" || !orders[0][1].Desc {
+		t.Errorf("orders: %+v", orders)
+	}
+	if g, _ := e.GridOrder("Traces"); g != "" {
+		t.Errorf("ungridded GridOrder: %q", g)
+	}
+
+	e2, _, _ := setup(t, "zorder(grid[lat,lon; 8,8](Traces))", 100)
+	if g, _ := e2.GridOrder("Traces"); g != "zorder(lat,lon)" {
+		t.Errorf("GridOrder: %q", g)
+	}
+	orders2, _ := e2.OrderList("Traces")
+	if len(orders2) != 0 {
+		t.Errorf("grid table should expose no row orders: %+v", orders2)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := ""
+	var rows []value.Row
+	{
+		e, f, p := newEngine(t)
+		path = p
+		e.Create("Traces", tracesSchema(), "zorder(grid[lat,lon; 8,8](Traces))")
+		rows = traceRows(400)
+		if err := e.Load("Traces", rows); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	f, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cat, err := catalog.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(f, cat, nil)
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, drain(t, cur), rows)
+}
+
+func TestFoldedLayoutScan(t *testing.T) {
+	e, _, _ := newEngine(t)
+	schema := value.MustSchema(
+		value.Field{Name: "area", Type: value.Int},
+		value.Field{Name: "zip", Type: value.Int},
+	)
+	if err := e.Create("Areas", schema, "fold[zip; area](Areas)"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Row{
+		{value.NewInt(617), value.NewInt(2139)},
+		{value.NewInt(212), value.NewInt(10001)},
+		{value.NewInt(617), value.NewInt(2142)},
+	}
+	if err := e.Load("Areas", rows); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := e.Scan("Areas", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	if len(got) != 2 {
+		t.Fatalf("folded groups: %d", len(got))
+	}
+	if got[0][0].Int() != 617 || got[0][1].Len() != 2 {
+		t.Errorf("group 0: %v", got[0])
+	}
+	// Folded layouts reject Insert (reorganize-only).
+	if err := e.Insert("Areas", rows[:1]); err == nil {
+		t.Error("insert into folded layout should fail")
+	}
+}
+
+func TestSelectLayoutFiltersAtLoad(t *testing.T) {
+	e, _, rows := setup(t, "select[lat >= 42.36](Traces)", 300)
+	cur, _ := e.Scan("Traces", ScanOptions{})
+	got := drain(t, cur)
+	want := 0
+	for _, r := range rows {
+		if r[1].Float() >= 42.36 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("select layout stored %d rows, want %d", len(got), want)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	e, _, _ := newEngine(t)
+	s := tracesSchema()
+	if err := e.Create("Traces", s, "rows(Traces)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Create("Traces", s, "rows(Traces)"); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if err := e.Create("Other", s, "rows(Traces)"); err == nil {
+		t.Error("layout for wrong table should fail")
+	}
+	if err := e.Create("Bad", s, "this is not algebra ("); err == nil {
+		t.Error("unparseable layout should fail")
+	}
+	if err := e.Create("Bad2", s, "project[bogus](Bad2)"); err == nil {
+		t.Error("invalid layout should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	e, _, _ := newEngine(t)
+	e.Create("Traces", tracesSchema(), "rows(Traces)")
+	bad := []value.Row{{value.NewInt(1)}}
+	if err := e.Load("Traces", bad); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	good := traceRows(10)
+	if err := e.Load("Traces", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("Traces", good); err == nil {
+		t.Error("double load should fail")
+	}
+	if err := e.Load("Missing", good); err == nil {
+		t.Error("load into missing table should fail")
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	e, f, _ := setup(t, "rows(Traces)", 2000)
+	used := f.NumPages()
+	if err := e.Drop("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.NumPages(); got >= used {
+		t.Errorf("drop did not free pages: %d -> %d", used, got)
+	}
+	if _, err := e.Scan("Traces", ScanOptions{}); err == nil {
+		t.Error("scan of dropped table should fail")
+	}
+}
+
+func TestFoldStrategiesAgree(t *testing.T) {
+	schema := value.MustSchema(
+		value.Field{Name: "area", Type: value.Int},
+		value.Field{Name: "zip", Type: value.Int},
+	)
+	rows := make([]value.Row, 200)
+	r := rand.New(rand.NewSource(5))
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(r.Intn(10))), value.NewInt(int64(r.Intn(100000)))}
+	}
+	run := func(strategy FoldStrategy) []value.Row {
+		e, _, _ := newEngine(t)
+		e.Fold = strategy
+		e.Create("Areas", schema, "fold[zip; area](Areas)")
+		if err := e.Load("Areas", rows); err != nil {
+			t.Fatal(err)
+		}
+		cur, err := e.Scan("Areas", ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, cur)
+	}
+	h := run(FoldHash)
+	nl := run(FoldNestedLoop)
+	if len(h) != len(nl) {
+		t.Fatalf("group counts differ: %d vs %d", len(h), len(nl))
+	}
+	for i := range h {
+		if rowKey(h[i]) != rowKey(nl[i]) {
+			t.Fatalf("row %d differs between strategies", i)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package txn implements RodentStore's transaction and lock management —
+// the facilities the paper argues (§1) should be built once and shared by
+// every physical layout rather than re-implemented per storage engine.
+//
+// Transactions follow a no-steal / force discipline over full page images:
+// writes are staged in a private write set, logged and fsync'd at commit,
+// then applied through the pager. Recovery (wal.Log.Recover) makes the
+// commit point atomic across crashes. Concurrency control is table-level
+// strict two-phase locking with shared/exclusive modes and timeout-based
+// deadlock resolution.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rodentstore/internal/pager"
+	"rodentstore/internal/wal"
+)
+
+// ErrLockTimeout is returned when a lock cannot be acquired within the
+// manager's timeout (the deadlock-resolution mechanism).
+var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
+
+// ErrTxnDone is returned when operating on a committed or aborted txn.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// LockMode is shared (readers) or exclusive (writers).
+type LockMode int
+
+const (
+	// Shared allows concurrent readers.
+	Shared LockMode = iota
+	// Exclusive allows one writer and no readers.
+	Exclusive
+)
+
+// Manager coordinates transactions over one page file and one log.
+type Manager struct {
+	mu          sync.Mutex
+	file        *pager.File
+	log         *wal.Log
+	nextTxn     uint64
+	locks       *lockTable
+	LockTimeout time.Duration
+}
+
+// NewManager creates a manager. Call Recover before the first transaction
+// when opening an existing database.
+func NewManager(file *pager.File, log *wal.Log) *Manager {
+	return &Manager{
+		file:        file,
+		log:         log,
+		nextTxn:     1,
+		locks:       newLockTable(),
+		LockTimeout: 2 * time.Second,
+	}
+}
+
+// Recover replays committed transactions from the log into the page file
+// and truncates the log. It must run before new transactions start.
+func (m *Manager) Recover() (int, error) {
+	n, err := m.log.Recover(func(id pager.PageID, img []byte) error {
+		return m.file.WritePage(id, img)
+	})
+	if err != nil {
+		return n, err
+	}
+	if n > 0 {
+		if err := m.file.Sync(); err != nil {
+			return n, err
+		}
+	}
+	return n, m.log.Truncate()
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.nextTxn
+	m.nextTxn++
+	m.mu.Unlock()
+	return &Txn{
+		id:     id,
+		mgr:    m,
+		writes: make(map[pager.PageID][]byte),
+		order:  nil,
+		held:   make(map[string]LockMode),
+	}
+}
+
+// Txn is one transaction. A Txn is not safe for concurrent use by multiple
+// goroutines (like database/sql.Tx).
+type Txn struct {
+	id     uint64
+	mgr    *Manager
+	writes map[pager.PageID][]byte
+	order  []pager.PageID // write order for deterministic replay
+	held   map[string]LockMode
+	done   bool
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Lock acquires a named lock (by convention, the table name) in the given
+// mode, blocking up to the manager's timeout. Locks are held to commit or
+// abort (strict 2PL). Re-acquiring a held lock upgrades Shared→Exclusive
+// when possible.
+func (t *Txn) Lock(name string, mode LockMode) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if held, ok := t.held[name]; ok {
+		if held == Exclusive || mode == Shared {
+			return nil // already strong enough
+		}
+		if err := t.mgr.locks.upgrade(name, t.id, t.mgr.LockTimeout); err != nil {
+			return err
+		}
+		t.held[name] = Exclusive
+		return nil
+	}
+	if err := t.mgr.locks.acquire(name, t.id, mode, t.mgr.LockTimeout); err != nil {
+		return err
+	}
+	t.held[name] = mode
+	return nil
+}
+
+// Read returns the payload of a page as seen by this transaction: its own
+// staged write if present, otherwise the current durable page.
+func (t *Txn) Read(id pager.PageID) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if img, ok := t.writes[id]; ok {
+		out := make([]byte, len(img))
+		copy(out, img)
+		return out, nil
+	}
+	return t.mgr.file.ReadPage(id)
+}
+
+// Write stages a full page image in the transaction's private write set.
+func (t *Txn) Write(id pager.PageID, payload []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if len(payload) > t.mgr.file.PayloadSize() {
+		return fmt.Errorf("txn: payload %d exceeds page payload %d", len(payload), t.mgr.file.PayloadSize())
+	}
+	img := make([]byte, len(payload))
+	copy(img, payload)
+	if _, seen := t.writes[id]; !seen {
+		t.order = append(t.order, id)
+	}
+	t.writes[id] = img
+	return nil
+}
+
+// Commit logs the write set, forces the log, applies the pages, and
+// releases locks. After Commit returns nil the transaction is durable.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	defer t.releaseLocks()
+	if len(t.writes) == 0 {
+		return nil // read-only
+	}
+	if err := t.mgr.log.Append(wal.Record{Type: wal.RecBegin, TxnID: t.id}); err != nil {
+		return err
+	}
+	for _, id := range t.order {
+		if err := t.mgr.log.Append(wal.Record{
+			Type: wal.RecPageImage, TxnID: t.id, PageID: id, Payload: t.writes[id],
+		}); err != nil {
+			return err
+		}
+	}
+	if err := t.mgr.log.Append(wal.Record{Type: wal.RecCommit, TxnID: t.id}); err != nil {
+		return err
+	}
+	if err := t.mgr.log.Flush(); err != nil {
+		return err
+	}
+	// The commit point has passed: apply to the main file. Failures here
+	// are repaired by Recover on next open.
+	for _, id := range t.order {
+		if err := t.mgr.file.WritePage(id, t.writes[id]); err != nil {
+			return fmt.Errorf("txn: post-commit apply (recoverable on reopen): %w", err)
+		}
+	}
+	if err := t.mgr.file.Sync(); err != nil {
+		return err
+	}
+	// Checkpoint: everything applied and durable; the log can be truncated.
+	return t.mgr.log.Truncate()
+}
+
+// Abort discards the write set and releases locks.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.releaseLocks()
+	t.writes = nil
+	return nil
+}
+
+func (t *Txn) releaseLocks() {
+	names := make([]string, 0, len(t.held))
+	for n := range t.held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.mgr.locks.release(n, t.id)
+	}
+	t.held = make(map[string]LockMode)
+}
+
+// lockTable is a simple S/X lock table with condition-variable waiting.
+type lockTable struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[string]*lockState
+}
+
+type lockState struct {
+	holders map[uint64]LockMode // txn -> mode
+}
+
+func newLockTable() *lockTable {
+	lt := &lockTable{locks: make(map[string]*lockState)}
+	lt.cond = sync.NewCond(&lt.mu)
+	return lt
+}
+
+func (lt *lockTable) state(name string) *lockState {
+	ls, ok := lt.locks[name]
+	if !ok {
+		ls = &lockState{holders: make(map[uint64]LockMode)}
+		lt.locks[name] = ls
+	}
+	return ls
+}
+
+// compatible reports whether txn may take mode given current holders.
+func (ls *lockState) compatible(txn uint64, mode LockMode) bool {
+	for holder, held := range ls.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (lt *lockTable) acquire(name string, txn uint64, mode LockMode, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	// Re-fetch the state after every wait: release deletes empty states, so
+	// a captured pointer can go stale while a fresh state takes its place.
+	for !lt.state(name).compatible(txn, mode) {
+		if !lt.waitUntil(deadline) {
+			return fmt.Errorf("%w: %s", ErrLockTimeout, name)
+		}
+	}
+	lt.state(name).holders[txn] = mode
+	return nil
+}
+
+func (lt *lockTable) upgrade(name string, txn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for !lt.state(name).compatible(txn, Exclusive) {
+		if !lt.waitUntil(deadline) {
+			return fmt.Errorf("%w: upgrade %s", ErrLockTimeout, name)
+		}
+	}
+	lt.state(name).holders[txn] = Exclusive
+	return nil
+}
+
+func (lt *lockTable) release(name string, txn uint64) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if ls, ok := lt.locks[name]; ok {
+		delete(ls.holders, txn)
+		if len(ls.holders) == 0 {
+			delete(lt.locks, name)
+		}
+	}
+	lt.cond.Broadcast()
+}
+
+// waitUntil waits on the condition variable with a deadline, returning false
+// when the deadline passed. Caller holds lt.mu.
+func (lt *lockTable) waitUntil(deadline time.Time) bool {
+	if time.Now().After(deadline) {
+		return false
+	}
+	// cond.Wait has no timeout; poke waiters periodically.
+	timer := time.AfterFunc(10*time.Millisecond, func() { lt.cond.Broadcast() })
+	defer timer.Stop()
+	lt.cond.Wait()
+	return true
+}

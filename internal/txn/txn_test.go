@@ -1,0 +1,280 @@
+package txn
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rodentstore/internal/pager"
+	"rodentstore/internal/wal"
+)
+
+func newEnv(t *testing.T) (*Manager, *pager.File, *wal.Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.rdnt")
+	f, err := pager.Create(dbPath, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dbPath + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close(); f.Close() })
+	return NewManager(f, l), f, l, dbPath
+}
+
+func TestCommitDurable(t *testing.T) {
+	m, f, _, _ := newEnv(t)
+	id, _ := f.Allocate()
+	tx := m.Begin()
+	if err := tx.Write(id, []byte("committed data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:14]) != "committed data" {
+		t.Errorf("got %q", got[:14])
+	}
+}
+
+func TestAbortInvisible(t *testing.T) {
+	m, f, _, _ := newEnv(t)
+	id, _ := f.Allocate()
+	f.WritePage(id, []byte("original"))
+	tx := m.Begin()
+	tx.Write(id, []byte("scribble"))
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.ReadPage(id)
+	if string(got[:8]) != "original" {
+		t.Error("aborted write leaked to disk")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	m, f, _, _ := newEnv(t)
+	id, _ := f.Allocate()
+	f.WritePage(id, []byte("old"))
+	tx := m.Begin()
+	tx.Write(id, []byte("new"))
+	got, err := tx.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:3]) != "new" {
+		t.Errorf("txn should see its own write, got %q", got[:3])
+	}
+	tx.Abort()
+}
+
+func TestTxnDoneErrors(t *testing.T) {
+	m, f, _, _ := newEnv(t)
+	id, _ := f.Allocate()
+	tx := m.Begin()
+	tx.Commit()
+	if err := tx.Write(id, []byte("x")); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Write after commit: %v", err)
+	}
+	if _, err := tx.Read(id); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Read after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("double Commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Abort after commit: %v", err)
+	}
+	if err := tx.Lock("t", Shared); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Lock after commit: %v", err)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	// Simulate a crash after the commit record is durable but before pages
+	// are applied: write the WAL records directly, then recover.
+	m, f, l, _ := newEnv(t)
+	id, _ := f.Allocate()
+	f.WritePage(id, []byte("before"))
+
+	l.Append(wal.Record{Type: wal.RecBegin, TxnID: 99})
+	l.Append(wal.Record{Type: wal.RecPageImage, TxnID: 99, PageID: id, Payload: []byte("after crash image")})
+	l.Append(wal.Record{Type: wal.RecCommit, TxnID: 99})
+	l.Flush()
+
+	n, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("recovered %d txns, want 1", n)
+	}
+	got, _ := f.ReadPage(id)
+	if string(got[:17]) != "after crash image" {
+		t.Error("recovery did not apply committed image")
+	}
+	if l.Size() != 0 {
+		t.Error("log not truncated after recovery")
+	}
+}
+
+func TestUncommittedNotRecovered(t *testing.T) {
+	m, f, l, _ := newEnv(t)
+	id, _ := f.Allocate()
+	f.WritePage(id, []byte("keep me"))
+	l.Append(wal.Record{Type: wal.RecBegin, TxnID: 5})
+	l.Append(wal.Record{Type: wal.RecPageImage, TxnID: 5, PageID: id, Payload: []byte("drop me")})
+	l.Flush()
+
+	if n, err := m.Recover(); err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, _ := f.ReadPage(id)
+	if string(got[:7]) != "keep me" {
+		t.Error("uncommitted image applied")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m, _, _, _ := newEnv(t)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := t1.Lock("traces", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Lock("traces", Shared); err != nil {
+		t.Fatal(err)
+	}
+	t1.Abort()
+	t2.Abort()
+}
+
+func TestExclusiveBlocksAndTimesOut(t *testing.T) {
+	m, _, _, _ := newEnv(t)
+	m.LockTimeout = 50 * time.Millisecond
+	t1, t2 := m.Begin(), m.Begin()
+	if err := t1.Lock("traces", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Lock("traces", Shared); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("expected timeout, got %v", err)
+	}
+	t1.Abort()
+	// After release the lock must be available.
+	if err := t2.Lock("traces", Exclusive); err != nil {
+		t.Errorf("lock after release: %v", err)
+	}
+	t2.Abort()
+}
+
+func TestLockHandoff(t *testing.T) {
+	m, _, _, _ := newEnv(t)
+	t1 := m.Begin()
+	t1.Lock("t", Exclusive)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		t2 := m.Begin()
+		errCh <- t2.Lock("t", Exclusive)
+		t2.Abort()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	t1.Commit() // releases the lock; waiter must wake
+	wg.Wait()
+	if err := <-errCh; err != nil {
+		t.Errorf("waiter should acquire after release: %v", err)
+	}
+}
+
+func TestLockUpgrade(t *testing.T) {
+	m, _, _, _ := newEnv(t)
+	m.LockTimeout = 50 * time.Millisecond
+	t1 := m.Begin()
+	if err := t1.Lock("t", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Lock("t", Exclusive); err != nil {
+		t.Fatalf("sole holder should upgrade: %v", err)
+	}
+	// Re-acquiring weaker/equal is a no-op.
+	if err := t1.Lock("t", Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade blocked by another shared holder times out.
+	t2 := m.Begin()
+	if err := t2.Lock("u", Shared); err != nil {
+		t.Fatal(err)
+	}
+	t3 := m.Begin()
+	if err := t3.Lock("u", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Lock("u", Exclusive); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("expected upgrade timeout, got %v", err)
+	}
+	t1.Abort()
+	t2.Abort()
+	t3.Abort()
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	// Serialized read-modify-write under an exclusive lock must not lose
+	// updates.
+	m, f, _, _ := newEnv(t)
+	m.LockTimeout = 30 * time.Second // commits fsync; contention can be slow
+	id, _ := f.Allocate()
+	f.WritePage(id, []byte{0})
+	const workers, rounds = 4, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tx := m.Begin()
+				if err := tx.Lock("counter", Exclusive); err != nil {
+					t.Error(err)
+					tx.Abort()
+					return
+				}
+				data, err := tx.Read(id)
+				if err != nil {
+					t.Error(err)
+					tx.Abort()
+					return
+				}
+				data[0]++
+				tx.Write(id, data)
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := f.ReadPage(id)
+	if got[0] != workers*rounds {
+		t.Errorf("lost updates: counter = %d, want %d", got[0], workers*rounds)
+	}
+}
+
+func TestOversizeWriteRejected(t *testing.T) {
+	m, f, _, _ := newEnv(t)
+	id, _ := f.Allocate()
+	tx := m.Begin()
+	if err := tx.Write(id, make([]byte, f.PayloadSize()+1)); err == nil {
+		t.Error("expected error for oversized payload")
+	}
+	tx.Abort()
+}

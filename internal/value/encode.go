@@ -1,0 +1,262 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Binary encoding of values and rows. Fixed-width kinds (Int, Float, Bool)
+// encode without a tag into their natural widths; variable-width kinds carry
+// a uvarint length prefix. Rows encode fields back-to-back with a leading
+// null bitmap so the decoder can restore Nulls in typed columns.
+
+// AppendValue appends the encoding of v (which must be of kind k, or Null)
+// to dst and returns the extended slice. Null is encoded as the kind's zero
+// value; callers that must distinguish Null use the row-level null bitmap.
+func AppendValue(dst []byte, k Kind, v Value) []byte {
+	switch k {
+	case Int:
+		var u uint64
+		if !v.IsNull() {
+			u = uint64(v.Int())
+		}
+		return binary.LittleEndian.AppendUint64(dst, u)
+	case Float:
+		var u uint64
+		if !v.IsNull() {
+			u = math.Float64bits(v.Float())
+		}
+		return binary.LittleEndian.AppendUint64(dst, u)
+	case Bool:
+		var b byte
+		if !v.IsNull() && v.Bool() {
+			b = 1
+		}
+		return append(dst, b)
+	case Str:
+		var s string
+		if !v.IsNull() {
+			s = v.Str()
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case Bytes:
+		var b []byte
+		if !v.IsNull() {
+			b = v.Bytes()
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		return append(dst, b...)
+	case List:
+		var l []Value
+		if !v.IsNull() {
+			l = v.List()
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(l)))
+		for _, c := range l {
+			dst = append(dst, byte(c.Kind()))
+			dst = AppendValue(dst, c.Kind(), c)
+		}
+		return dst
+	case Null:
+		// Null carries no payload; list children are tagged so the kind byte
+		// alone identifies them, and top-level nulls use the row bitmap.
+		return dst
+	default:
+		panic(fmt.Sprintf("value: cannot encode kind %s", k))
+	}
+}
+
+// DecodeValue decodes one value of kind k from buf, returning the value and
+// the number of bytes consumed.
+func DecodeValue(buf []byte, k Kind) (Value, int, error) {
+	switch k {
+	case Int:
+		if len(buf) < 8 {
+			return Value{}, 0, fmt.Errorf("value: short buffer for int")
+		}
+		return NewInt(int64(binary.LittleEndian.Uint64(buf))), 8, nil
+	case Float:
+		if len(buf) < 8 {
+			return Value{}, 0, fmt.Errorf("value: short buffer for float")
+		}
+		return NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf))), 8, nil
+	case Bool:
+		if len(buf) < 1 {
+			return Value{}, 0, fmt.Errorf("value: short buffer for bool")
+		}
+		return NewBool(buf[0] != 0), 1, nil
+	case Str:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf)-sz) < n {
+			return Value{}, 0, fmt.Errorf("value: short buffer for string")
+		}
+		return NewString(string(buf[sz : sz+int(n)])), sz + int(n), nil
+	case Bytes:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf)-sz) < n {
+			return Value{}, 0, fmt.Errorf("value: short buffer for bytes")
+		}
+		out := make([]byte, n)
+		copy(out, buf[sz:sz+int(n)])
+		return NewBytes(out), sz + int(n), nil
+	case List:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("value: short buffer for list")
+		}
+		off := sz
+		children := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if off >= len(buf) {
+				return Value{}, 0, fmt.Errorf("value: short buffer for list child")
+			}
+			ck := Kind(buf[off])
+			off++
+			c, used, err := DecodeValue(buf[off:], ck)
+			if err != nil {
+				return Value{}, 0, err
+			}
+			off += used
+			children = append(children, c)
+		}
+		return NewList(children...), off, nil
+	case Null:
+		return NullValue(), 0, nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: cannot decode kind %s", k)
+	}
+}
+
+// AppendRow appends the row encoding (null bitmap + field encodings) to dst.
+func AppendRow(dst []byte, s *Schema, r Row) []byte {
+	nb := (len(s.Fields) + 7) / 8
+	start := len(dst)
+	for i := 0; i < nb; i++ {
+		dst = append(dst, 0)
+	}
+	for i, f := range s.Fields {
+		if r[i].IsNull() {
+			dst[start+i/8] |= 1 << (i % 8)
+		}
+		dst = AppendValue(dst, f.Type, r[i])
+	}
+	return dst
+}
+
+// DecodeRow decodes one row, returning it and the bytes consumed.
+func DecodeRow(buf []byte, s *Schema) (Row, int, error) {
+	nb := (len(s.Fields) + 7) / 8
+	if len(buf) < nb {
+		return nil, 0, fmt.Errorf("value: short buffer for null bitmap")
+	}
+	bitmap := buf[:nb]
+	off := nb
+	row := make(Row, len(s.Fields))
+	for i, f := range s.Fields {
+		v, used, err := DecodeValue(buf[off:], f.Type)
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: field %q: %w", f.Name, err)
+		}
+		off += used
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			row[i] = NullValue()
+		} else {
+			row[i] = v
+		}
+	}
+	return row, off, nil
+}
+
+// EncodedRowSize returns the number of bytes AppendRow would write.
+func EncodedRowSize(s *Schema, r Row) int {
+	n := (len(s.Fields) + 7) / 8
+	for i, f := range s.Fields {
+		n += encodedValueSize(f.Type, r[i])
+	}
+	return n
+}
+
+func encodedValueSize(k Kind, v Value) int {
+	switch k {
+	case Int, Float:
+		return 8
+	case Bool:
+		return 1
+	case Str:
+		var l int
+		if !v.IsNull() {
+			l = len(v.Str())
+		}
+		return uvarintLen(uint64(l)) + l
+	case Bytes:
+		var l int
+		if !v.IsNull() {
+			l = len(v.Bytes())
+		}
+		return uvarintLen(uint64(l)) + l
+	case List:
+		var l []Value
+		if !v.IsNull() {
+			l = v.List()
+		}
+		n := uvarintLen(uint64(len(l)))
+		for _, c := range l {
+			n += 1 + encodedValueSize(c.Kind(), c)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Parse converts the textual form s into a value of kind k. It is used by
+// the CSV loader and the shell.
+func Parse(k Kind, s string) (Value, error) {
+	if s == "null" || s == "" {
+		return NullValue(), nil
+	}
+	switch k {
+	case Int:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse int %q: %w", s, err)
+		}
+		return NewInt(i), nil
+	case Float:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse float %q: %w", s, err)
+		}
+		return NewFloat(f), nil
+	case Bool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse bool %q: %w", s, err)
+		}
+		return NewBool(b), nil
+	case Str:
+		if len(s) >= 2 && s[0] == '"' {
+			u, err := strconv.Unquote(s)
+			if err == nil {
+				return NewString(u), nil
+			}
+		}
+		return NewString(s), nil
+	case Bytes:
+		return NewBytes([]byte(s)), nil
+	default:
+		return Value{}, fmt.Errorf("value: cannot parse kind %s", k)
+	}
+}

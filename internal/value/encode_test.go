@@ -1,0 +1,166 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEncodeRoundtrip(t *testing.T) {
+	cases := []struct {
+		k Kind
+		v Value
+	}{
+		{Int, NewInt(0)},
+		{Int, NewInt(-1)},
+		{Int, NewInt(1 << 62)},
+		{Float, NewFloat(3.14159)},
+		{Float, NewFloat(-0.0)},
+		{Bool, NewBool(true)},
+		{Bool, NewBool(false)},
+		{Str, NewString("")},
+		{Str, NewString("hello, 世界")},
+		{Bytes, NewBytes([]byte{0, 1, 2, 255})},
+		{List, NewList(NewInt(1), NewString("x"), NewList(NewFloat(2.5)))},
+		{List, NewList()},
+	}
+	for i, c := range cases {
+		buf := AppendValue(nil, c.k, c.v)
+		got, n, err := DecodeValue(buf, c.k)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Errorf("case %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if !Equal(got, c.v) {
+			t.Errorf("case %d: roundtrip %v -> %v", i, c.v, got)
+		}
+	}
+}
+
+func TestDecodeValueShortBuffer(t *testing.T) {
+	for _, k := range []Kind{Int, Float, Bool, Str, Bytes} {
+		if _, _, err := DecodeValue(nil, k); err == nil {
+			t.Errorf("kind %s: expected error on empty buffer", k)
+		}
+	}
+	// String claiming more bytes than available.
+	buf := AppendValue(nil, Str, NewString("hello"))
+	if _, _, err := DecodeValue(buf[:3], Str); err == nil {
+		t.Error("expected error on truncated string")
+	}
+}
+
+func TestRowEncodeRoundtrip(t *testing.T) {
+	s := MustSchema(
+		Field{"t", Int},
+		Field{"lat", Float},
+		Field{"lon", Float},
+		Field{"id", Str},
+		Field{"ok", Bool},
+	)
+	rows := []Row{
+		{NewInt(1), NewFloat(42.36), NewFloat(-71.06), NewString("car-1"), NewBool(true)},
+		{NewInt(2), NullValue(), NewFloat(-71.0), NewString(""), NullValue()},
+		{NullValue(), NullValue(), NullValue(), NullValue(), NullValue()},
+	}
+	var buf []byte
+	for _, r := range rows {
+		if got, want := EncodedRowSize(s, r), len(AppendRow(nil, s, r)); got != want {
+			t.Errorf("EncodedRowSize=%d, actual=%d", got, want)
+		}
+		buf = AppendRow(buf, s, r)
+	}
+	off := 0
+	for i, want := range rows {
+		got, n, err := DecodeRow(buf[off:], s)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		off += n
+		for j := range want {
+			if !Equal(got[j], want[j]) {
+				t.Errorf("row %d field %d: got %v want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestRowEncodeQuick(t *testing.T) {
+	s := MustSchema(Field{"a", Int}, Field{"b", Float}, Field{"c", Str})
+	f := func(a int64, b float64, c string) bool {
+		r := Row{NewInt(a), NewFloat(b), NewString(c)}
+		buf := AppendRow(nil, s, r)
+		got, n, err := DecodeRow(buf, s)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return got[0].Int() == a && got[2].Str() == c &&
+			(got[1].Float() == b || b != b) // NaN roundtrips as NaN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		in   string
+		want Value
+	}{
+		{Int, "42", NewInt(42)},
+		{Int, "-7", NewInt(-7)},
+		{Float, "2.5", NewFloat(2.5)},
+		{Bool, "true", NewBool(true)},
+		{Str, "plain", NewString("plain")},
+		{Str, `"quoted"`, NewString("quoted")},
+		{Bytes, "ab", NewBytes([]byte("ab"))},
+		{Int, "null", NullValue()},
+		{Float, "", NullValue()},
+	}
+	for i, c := range cases {
+		got, err := Parse(c.k, c.in)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("case %d: Parse(%s,%q)=%v want %v", i, c.k, c.in, got, c.want)
+		}
+	}
+	if _, err := Parse(Int, "xyz"); err == nil {
+		t.Error("expected error parsing bad int")
+	}
+	if _, err := Parse(Float, "xyz"); err == nil {
+		t.Error("expected error parsing bad float")
+	}
+	if _, err := Parse(Bool, "xyz"); err == nil {
+		t.Error("expected error parsing bad bool")
+	}
+	if _, err := Parse(List, "[1]"); err == nil {
+		t.Error("expected error parsing list")
+	}
+}
+
+func TestEncodedValueFuzzRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r, 2)
+		k := v.Kind()
+		if k == Null {
+			continue // null encodes via the row bitmap, not standalone
+		}
+		buf := AppendValue(nil, k, v)
+		got, n, err := DecodeValue(buf, k)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", i, k, err)
+		}
+		if n != len(buf) || !Equal(got, v) {
+			t.Fatalf("iter %d: roundtrip mismatch %v -> %v", i, v, got)
+		}
+	}
+}

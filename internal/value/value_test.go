@@ -1,0 +1,309 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Null, Int, Float, Str, Bytes, Bool, List} {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Fatalf("KindFromString(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("roundtrip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+	if _, err := KindFromString("widget"); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := NewInt(42).Int(); got != 42 {
+		t.Errorf("Int: got %d", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("Float: got %g", got)
+	}
+	if got := NewInt(3).Float(); got != 3.0 {
+		t.Errorf("Int widening: got %g", got)
+	}
+	if got := NewString("hi").Str(); got != "hi" {
+		t.Errorf("Str: got %q", got)
+	}
+	if got := NewBool(true); !got.Bool() {
+		t.Error("Bool: got false")
+	}
+	if got := NewBytes([]byte{1, 2}).Bytes(); len(got) != 2 {
+		t.Errorf("Bytes: got %v", got)
+	}
+	l := NewList(NewInt(1), NewInt(2), NewInt(3))
+	if l.Len() != 3 {
+		t.Errorf("List len: got %d", l.Len())
+	}
+	if !NullValue().IsNull() {
+		t.Error("zero value should be null")
+	}
+	if NullValue().Len() != 0 {
+		t.Error("null Len should be 0")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewString("x").Int() },
+		func() { NewString("x").Float() },
+		func() { NewInt(1).Str() },
+		func() { NewInt(1).Bytes() },
+		func() { NewInt(1).Bool() },
+		func() { NewInt(1).List() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.5), NewInt(1), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NullValue(), NewInt(-100), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewInt(0), -1}, // bool ranks below numerics
+		{NewList(NewInt(1)), NewList(NewInt(1), NewInt(2)), -1},
+		{NewList(NewInt(2)), NewList(NewInt(1), NewInt(9)), 1},
+		{NewBytes([]byte("a")), NewBytes([]byte("b")), -1},
+		{NewString("z"), NewBytes([]byte("a")), -1}, // str ranks below bytes
+	}
+	for i, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Compare(%v,%v)=%d want %d", i, c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("case %d reversed: got %d want %d", i, got, -c.want)
+		}
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN should compare equal to itself for stable sorting")
+	}
+	if Compare(nan, NewFloat(0)) != -1 {
+		t.Error("NaN should sort before numbers")
+	}
+	if Compare(NewFloat(0), nan) != 1 {
+		t.Error("numbers should sort after NaN")
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewFloat(7)},
+		{NewString("abc"), NewString("abc")},
+		{NewList(NewInt(1), NewString("x")), NewList(NewInt(1), NewString("x"))},
+	}
+	for i, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("case %d: expected equal", i)
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("case %d: Equal values with different hashes", i)
+		}
+	}
+}
+
+func TestHashProperty(t *testing.T) {
+	// Equal values must hash identically; Int/Float cross-type equality holds
+	// for exactly representable integers, so their hashes must agree too.
+	f := func(x int32) bool {
+		return NewInt(int64(x)).Hash() == NewFloat(float64(x)).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(5), "5"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("hi"), `"hi"`},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NullValue(), "null"},
+		{NewList(NewInt(1), NewInt(2)), "[1, 2]"},
+		{NewBytes([]byte{0xab}), "0xab"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := NewSchema(Field{"a", Int}, Field{"b", Str}, Field{"c", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 3 {
+		t.Errorf("arity: got %d", s.Arity())
+	}
+	if s.Index("b") != 1 || s.Index("zzz") != -1 {
+		t.Error("Index lookup wrong")
+	}
+	if got := s.String(); got != "a:int, b:string, c:float" {
+		t.Errorf("String: %q", got)
+	}
+	if !reflect.DeepEqual(s.Names(), []string{"a", "b", "c"}) {
+		t.Errorf("Names: %v", s.Names())
+	}
+
+	if _, err := NewSchema(Field{"a", Int}, Field{"a", Str}); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+	if _, err := NewSchema(Field{"", Int}); err == nil {
+		t.Error("expected empty-name error")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := MustSchema(Field{"a", Int}, Field{"b", Str}, Field{"c", Float})
+	p, idx, err := s.Project([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx, []int{2, 0}) {
+		t.Errorf("idx: %v", idx)
+	}
+	if p.String() != "c:float, a:int" {
+		t.Errorf("projected schema: %q", p.String())
+	}
+	if _, _, err := s.Project([]string{"nope"}); err == nil {
+		t.Error("expected missing-field error")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := MustSchema(Field{"a", Int}, Field{"b", Float})
+	if err := s.Validate(Row{NewInt(1), NewFloat(2)}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.Validate(Row{NewInt(1), NewInt(2)}); err != nil {
+		t.Errorf("int-for-float should be accepted: %v", err)
+	}
+	if err := s.Validate(Row{NullValue(), NullValue()}); err != nil {
+		t.Errorf("nulls should be accepted: %v", err)
+	}
+	if err := s.Validate(Row{NewInt(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := s.Validate(Row{NewString("x"), NewFloat(2)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []Row{
+		{NewInt(2), NewString("b")},
+		{NewInt(1), NewString("z")},
+		{NewInt(2), NewString("a")},
+		{NewInt(1), NewString("a")},
+	}
+	SortRows(rows, []int{0, 1}, nil)
+	want := [][2]interface{}{{int64(1), "a"}, {int64(1), "z"}, {int64(2), "a"}, {int64(2), "b"}}
+	for i, w := range want {
+		if rows[i][0].Int() != w[0].(int64) || rows[i][1].Str() != w[1].(string) {
+			t.Fatalf("row %d: got (%v,%v)", i, rows[i][0], rows[i][1])
+		}
+	}
+	SortRows(rows, []int{0}, []bool{true})
+	if rows[0][0].Int() != 2 {
+		t.Error("descending sort failed")
+	}
+}
+
+// randomValue generates a random scalar-or-shallow-list value for property
+// tests. Depth is bounded so tests stay fast.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(7)
+	if depth <= 0 && k == 6 {
+		k = r.Intn(6)
+	}
+	switch k {
+	case 0:
+		return NullValue()
+	case 1:
+		return NewInt(r.Int63() - r.Int63())
+	case 2:
+		return NewFloat(r.NormFloat64() * 1e6)
+	case 3:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return NewString(string(b))
+	case 4:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return NewBytes(b)
+	case 5:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		n := r.Intn(4)
+		children := make([]Value, n)
+		for i := range children {
+			children[i] = randomValue(r, depth-1)
+		}
+		return NewList(children...)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := make([]Value, 200)
+	for i := range vals {
+		vals[i] = randomValue(r, 2)
+	}
+	// Antisymmetry and reflexivity.
+	for i := 0; i < 50; i++ {
+		a, b := vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated for %v vs %v", a, b)
+		}
+		if Compare(a, a) != 0 {
+			t.Fatalf("reflexivity violated for %v", a)
+		}
+	}
+	// Sorting with Compare must yield a sorted sequence (transitivity smoke test).
+	sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	for i := 1; i < len(vals); i++ {
+		if Compare(vals[i-1], vals[i]) > 0 {
+			t.Fatalf("sequence not sorted at %d", i)
+		}
+	}
+}

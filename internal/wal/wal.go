@@ -1,0 +1,192 @@
+// Package wal implements RodentStore's write-ahead log. The paper's first
+// motivation (§1) is that each new storage system duplicates "transaction,
+// lock, and memory management facilities"; RodentStore provides them once,
+// under every layout the algebra can express.
+//
+// The log is redo-only with full page images and a no-steal discipline: a
+// transaction's page writes are staged privately (see package txn), appended
+// to the log as images, fsync'd, and only then applied to the main page
+// file. Recovery replays the images of committed transactions in log order;
+// uncommitted tails are ignored. After a checkpoint (all applied pages
+// durable) the log is truncated.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"rodentstore/internal/pager"
+)
+
+// RecordType tags log records.
+type RecordType uint8
+
+const (
+	// RecBegin marks the start of a transaction.
+	RecBegin RecordType = 1
+	// RecPageImage carries the full after-image of one page.
+	RecPageImage RecordType = 2
+	// RecCommit marks a transaction durable; its images must be replayed.
+	RecCommit RecordType = 3
+	// RecAbort marks a transaction rolled back; its images are ignored.
+	RecAbort RecordType = 4
+)
+
+// Record is one log entry.
+type Record struct {
+	Type    RecordType
+	TxnID   uint64
+	PageID  pager.PageID
+	Payload []byte
+}
+
+// Log is an append-only record file. Methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+}
+
+// Open opens (or creates) the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return &Log{f: f, path: path, size: size}, nil
+}
+
+// Append writes one record to the log buffer (not yet durable; call Flush).
+// Framing: [total u32][crc u32][type u8][txn u64][page u64][payload].
+func (l *Log) Append(r Record) error {
+	body := make([]byte, 0, 17+len(r.Payload))
+	body = append(body, byte(r.Type))
+	body = binary.LittleEndian.AppendUint64(body, r.TxnID)
+	body = binary.LittleEndian.AppendUint64(body, uint64(r.PageID))
+	body = append(body, r.Payload...)
+
+	head := make([]byte, 8)
+	binary.LittleEndian.PutUint32(head, uint32(len(body)))
+	binary.LittleEndian.PutUint32(head[4:], crc32.ChecksumIEEE(body))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.WriteAt(append(head, body...), l.size); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(head) + len(body))
+	return nil
+}
+
+// Flush makes all appended records durable.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
+// Truncate empties the log (after a checkpoint).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync after truncate: %w", err)
+	}
+	l.size = 0
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Scan reads all well-formed records from the start of the log, stopping
+// silently at the first torn or corrupt record (the crash tail).
+func (l *Log) Scan() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read: %w", err)
+	}
+	var out []Record
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 17 || off+8+n > len(data) {
+			break // torn tail
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(body) != crc {
+			break // corrupt tail
+		}
+		rec := Record{
+			Type:   RecordType(body[0]),
+			TxnID:  binary.LittleEndian.Uint64(body[1:]),
+			PageID: pager.PageID(binary.LittleEndian.Uint64(body[9:])),
+		}
+		if len(body) > 17 {
+			rec.Payload = append([]byte(nil), body[17:]...)
+		}
+		out = append(out, rec)
+		off += 8 + n
+	}
+	return out, nil
+}
+
+// Recover replays the log: for every committed transaction, apply is called
+// with each page image in log order. It returns the number of transactions
+// replayed. Aborted and unfinished transactions are skipped.
+func (l *Log) Recover(apply func(pager.PageID, []byte) error) (int, error) {
+	recs, err := l.Scan()
+	if err != nil {
+		return 0, err
+	}
+	pending := make(map[uint64][]Record)
+	replayed := 0
+	for _, r := range recs {
+		switch r.Type {
+		case RecBegin:
+			pending[r.TxnID] = nil
+		case RecPageImage:
+			pending[r.TxnID] = append(pending[r.TxnID], r)
+		case RecAbort:
+			delete(pending, r.TxnID)
+		case RecCommit:
+			for _, img := range pending[r.TxnID] {
+				if err := apply(img.PageID, img.Payload); err != nil {
+					return replayed, fmt.Errorf("wal: replay txn %d page %d: %w", r.TxnID, img.PageID, err)
+				}
+			}
+			delete(pending, r.TxnID)
+			replayed++
+		}
+	}
+	return replayed, nil
+}

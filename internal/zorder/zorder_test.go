@@ -1,0 +1,206 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleave2Known(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		want uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{2, 3, 14}, // x=10, y=11 -> interleaved 1110
+		{0xffffffff, 0, 0x5555555555555555},
+		{0, 0xffffffff, 0xaaaaaaaaaaaaaaaa},
+	}
+	for _, c := range cases {
+		if got := Interleave2(c.x, c.y); got != c.want {
+			t.Errorf("Interleave2(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestInterleave2Roundtrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Deinterleave2(Interleave2(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleave2Monotone(t *testing.T) {
+	// Within a quadrant, increasing both coordinates increases the z-code.
+	f := func(x, y uint16) bool {
+		return Interleave2(uint32(x)+1, uint32(y)+1) > Interleave2(uint32(x), uint32(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveN(t *testing.T) {
+	// 2-D InterleaveN must agree with Interleave2.
+	f := func(x, y uint16) bool {
+		z, err := InterleaveN([]uint32{uint32(x), uint32(y)}, 16)
+		return err == nil && z == Interleave2(uint32(x), uint32(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// 3-D roundtrip.
+	g := func(a, b, c uint16) bool {
+		coords := []uint32{uint32(a), uint32(b), uint32(c)}
+		z, err := InterleaveN(coords, 16)
+		if err != nil {
+			return false
+		}
+		back, err := DeinterleaveN(z, 3, 16)
+		if err != nil {
+			return false
+		}
+		return back[0] == coords[0] && back[1] == coords[1] && back[2] == coords[2]
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveNErrors(t *testing.T) {
+	if _, err := InterleaveN(nil, 8); err == nil {
+		t.Error("expected error for no coords")
+	}
+	if _, err := InterleaveN(make([]uint32, 9), 8); err == nil {
+		t.Error("expected error for 72 bits")
+	}
+	if _, err := DeinterleaveN(0, 0, 8); err == nil {
+		t.Error("expected error for 0 dims")
+	}
+}
+
+func TestHilbertRoundtrip(t *testing.T) {
+	const order = 8
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<order; x += 3 {
+		for y := uint32(0); y < 1<<order; y += 3 {
+			d := Hilbert2(order, x, y)
+			if seen[d] {
+				t.Fatalf("duplicate hilbert code %d", d)
+			}
+			seen[d] = true
+			gx, gy := Hilbert2Inverse(order, d)
+			if gx != x || gy != y {
+				t.Fatalf("Hilbert roundtrip (%d,%d) -> %d -> (%d,%d)", x, y, d, gx, gy)
+			}
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive Hilbert positions must be 4-adjacent cells: this is the
+	// locality property that makes it a candidate curve for cell layout.
+	const order = 6
+	px, py := Hilbert2Inverse(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := Hilbert2Inverse(order, d)
+		dx, dy := int64(x)-int64(px), int64(y)-int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("positions %d and %d not adjacent: (%d,%d) -> (%d,%d)", d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestBin(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want string
+	}{
+		{0, "0"}, {1, "1"}, {2, "10"}, {5, "101"}, {255, "11111111"},
+	}
+	for _, c := range cases {
+		if got := Bin(c.v); got != c.want {
+			t.Errorf("Bin(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestZRangesForRectFullGrid(t *testing.T) {
+	// The whole grid must collapse to a single range.
+	got := ZRangesForRect(4, 0, 0, 15, 15)
+	if len(got) != 1 || got[0] != (Range{0, 255}) {
+		t.Fatalf("full grid: got %v", got)
+	}
+}
+
+func TestZRangesForRectSingleCell(t *testing.T) {
+	got := ZRangesForRect(4, 5, 9, 5, 9)
+	want := Interleave2(5, 9)
+	if len(got) != 1 || got[0].Lo != want || got[0].Hi != want {
+		t.Fatalf("single cell: got %v, want [%d,%d]", got, want, want)
+	}
+}
+
+func TestZRangesForRectCoversExactly(t *testing.T) {
+	// Property: the union of returned ranges equals the set of z-codes of
+	// cells inside the rectangle — no more, no less.
+	const order = 5 // 32x32 grid
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		x0 := uint32(r.Intn(32))
+		y0 := uint32(r.Intn(32))
+		x1 := x0 + uint32(r.Intn(int(32-x0)))
+		y1 := y0 + uint32(r.Intn(int(32-y0)))
+		ranges := ZRangesForRect(order, x0, y0, x1, y1)
+		inRanges := func(z uint64) bool {
+			for _, rg := range ranges {
+				if z >= rg.Lo && z <= rg.Hi {
+					return true
+				}
+			}
+			return false
+		}
+		for x := uint32(0); x < 32; x++ {
+			for y := uint32(0); y < 32; y++ {
+				z := Interleave2(x, y)
+				inside := x >= x0 && x <= x1 && y >= y0 && y <= y1
+				if inside != inRanges(z) {
+					t.Fatalf("trial %d rect(%d,%d,%d,%d): cell (%d,%d) inside=%v inRanges=%v",
+						trial, x0, y0, x1, y1, x, y, inside, inRanges(z))
+				}
+			}
+		}
+		// Ranges must be sorted and non-overlapping.
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i].Lo <= ranges[i-1].Hi {
+				t.Fatalf("ranges overlap or unsorted: %v", ranges)
+			}
+		}
+	}
+}
+
+func TestZRangesForRectEmpty(t *testing.T) {
+	if got := ZRangesForRect(4, 5, 5, 4, 4); got != nil {
+		t.Fatalf("inverted rect: got %v", got)
+	}
+}
+
+func BenchmarkInterleave2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Interleave2(uint32(i), uint32(i*7))
+	}
+}
+
+func BenchmarkHilbert2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Hilbert2(16, uint32(i)&0xffff, uint32(i*7)&0xffff)
+	}
+}

@@ -1,0 +1,222 @@
+// Package rodentstore is an adaptive, declarative storage system — a Go
+// reproduction of "The Case for RodentStore, an Adaptive, Declarative
+// Storage System" (Cudré-Mauroux, Wu, Madden; CIDR 2009).
+//
+// RodentStore separates a table's logical schema from its physical layout.
+// The layout is declared with a storage algebra expression that transforms
+// the canonical row-major representation: project/colgroup/cols decompose
+// vertically, orderby/groupby reorder, grid repartitions onto an
+// n-dimensional lattice whose cells are stored along a space-filling curve
+// (zorder, hilbert), and delta/rle/dict/bitpack compress individual columns.
+// The same data can be re-laid-out at any time with AlterLayout.
+//
+//	db, _ := rodentstore.Create("traces.rdnt", nil)
+//	db.CreateTable("Traces", []rodentstore.Field{
+//	    {Name: "t", Type: rodentstore.Int},
+//	    {Name: "lat", Type: rodentstore.Float},
+//	    {Name: "lon", Type: rodentstore.Float},
+//	    {Name: "id", Type: rodentstore.String},
+//	}, "delta[lat,lon](zorder(grid[lat,lon; 64,64](project[lat,lon](Traces))))")
+//	db.Load("Traces", rows)
+//	cur, _ := db.Scan("Traces", rodentstore.Query{
+//	    Where: "lat >= 42.35 and lat < 42.37 and lon >= -71.1 and lon < -71.08",
+//	})
+//
+// The access-method API mirrors the paper's §4.1: Scan, GetElement, Next
+// (on Cursor), ScanCost, GetElementCost and OrderList; a storage design
+// optimizer (Advise) recommends a layout for a workload, per §5.
+package rodentstore
+
+import (
+	"fmt"
+
+	"rodentstore/internal/buffer"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/cost"
+	"rodentstore/internal/pager"
+	"rodentstore/internal/table"
+	"rodentstore/internal/txn"
+	"rodentstore/internal/value"
+	"rodentstore/internal/wal"
+)
+
+// Kind is a column type.
+type Kind = value.Kind
+
+// Column types.
+const (
+	// Int is a 64-bit signed integer column.
+	Int = value.Int
+	// Float is a 64-bit IEEE-754 column.
+	Float = value.Float
+	// String is a variable-length UTF-8 column.
+	String = value.Str
+	// Bytes is a variable-length binary column.
+	Bytes = value.Bytes
+	// Bool is a boolean column.
+	Bool = value.Bool
+)
+
+// Field is one column of a table schema.
+type Field = value.Field
+
+// Value is one typed cell value.
+type Value = value.Value
+
+// Row is one record.
+type Row = value.Row
+
+// Typed value constructors, re-exported for building rows.
+var (
+	// IntValue makes an Int value.
+	IntValue = value.NewInt
+	// FloatValue makes a Float value.
+	FloatValue = value.NewFloat
+	// StringValue makes a String value.
+	StringValue = value.NewString
+	// BytesValue makes a Bytes value.
+	BytesValue = value.NewBytes
+	// BoolValue makes a Bool value.
+	BoolValue = value.NewBool
+	// Null makes the null value.
+	Null = value.NullValue
+)
+
+// Options configures Create.
+type Options struct {
+	// PageSize is the disk page size in bytes (default 1024, the page size
+	// of the paper's case study).
+	PageSize int
+	// CachePages enables a buffer pool with this many frames. 0 (default)
+	// bypasses caching so page-read statistics equal cold physical I/O,
+	// which is what the paper's experiments measure.
+	CachePages int
+}
+
+// DB is a RodentStore database: one page file, its write-ahead log,
+// catalog, and storage engine.
+type DB struct {
+	file *pager.File
+	log  *wal.Log
+	mgr  *txn.Manager
+	cat  *catalog.Catalog
+	eng  *table.Engine
+	pool *buffer.Pool
+}
+
+// Create creates a new database file (truncating any existing one).
+func Create(path string, opts *Options) (*DB, error) {
+	o := Options{PageSize: pager.DefaultPageSize}
+	if opts != nil {
+		if opts.PageSize != 0 {
+			o.PageSize = opts.PageSize
+		}
+		o.CachePages = opts.CachePages
+	}
+	file, err := pager.Create(path, o.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return open(file, path, o.CachePages)
+}
+
+// Open opens an existing database, replaying the write-ahead log.
+func Open(path string) (*DB, error) {
+	file, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return open(file, path, 0)
+}
+
+func open(file *pager.File, path string, cachePages int) (*DB, error) {
+	log, err := wal.Open(path + ".wal")
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	mgr := txn.NewManager(file, log)
+	if _, err := mgr.Recover(); err != nil {
+		log.Close()
+		file.Close()
+		return nil, fmt.Errorf("rodentstore: recovery: %w", err)
+	}
+	cat, err := catalog.Load(file)
+	if err != nil {
+		log.Close()
+		file.Close()
+		return nil, err
+	}
+	db := &DB{file: file, log: log, mgr: mgr, cat: cat, eng: table.NewEngine(file, cat, mgr)}
+	if cachePages > 0 {
+		pool, err := buffer.NewPool(file, cachePages)
+		if err != nil {
+			log.Close()
+			file.Close()
+			return nil, err
+		}
+		db.pool = pool
+		db.eng.Source = pool
+	}
+	return db, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	if db.pool != nil {
+		if err := db.pool.FlushAll(); err != nil {
+			return err
+		}
+	}
+	if err := db.log.Close(); err != nil {
+		db.file.Close()
+		return err
+	}
+	return db.file.Close()
+}
+
+// PageSize returns the database's page size in bytes.
+func (db *DB) PageSize() int { return db.file.PageSize() }
+
+// IOStats is a snapshot of physical I/O counters.
+type IOStats struct {
+	PageReads  uint64
+	PageWrites uint64
+	Seeks      uint64
+}
+
+// IOStats returns the current counters.
+func (db *DB) IOStats() IOStats {
+	s := db.file.Stats()
+	return IOStats{PageReads: s.PageReads, PageWrites: s.PageWrites, Seeks: s.Seeks}
+}
+
+// ResetIOStats zeroes the counters (each measured query starts cold).
+func (db *DB) ResetIOStats() { db.file.ResetStats() }
+
+// InvalidateCache drops the buffer pool (no-op without one) so the next
+// reads hit disk.
+func (db *DB) InvalidateCache() error {
+	if db.pool == nil {
+		return nil
+	}
+	return db.pool.Invalidate()
+}
+
+// SetFoldStrategy selects the fold rendering algorithm of the paper's §4.2:
+// "hash" (default) or "nestedloop" (the paper's Algorithm 1).
+func (db *DB) SetFoldStrategy(strategy string) error {
+	switch strategy {
+	case "hash":
+		db.eng.Fold = table.FoldHash
+	case "nestedloop":
+		db.eng.Fold = table.FoldNestedLoop
+	default:
+		return fmt.Errorf("rodentstore: unknown fold strategy %q", strategy)
+	}
+	return nil
+}
+
+// CostModel returns the default device cost model used by ScanCost and
+// GetElementCost.
+func CostModel() cost.Model { return cost.DefaultModel() }

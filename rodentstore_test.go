@@ -1,0 +1,365 @@
+package rodentstore_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rodentstore"
+	"rodentstore/internal/cartel"
+)
+
+func newDB(t *testing.T, opts *rodentstore.Options) *rodentstore.DB {
+	t.Helper()
+	db, err := rodentstore.Create(filepath.Join(t.TempDir(), "test.rdnt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func tracesFields() []rodentstore.Field {
+	return []rodentstore.Field{
+		{Name: "t", Type: rodentstore.Int},
+		{Name: "lat", Type: rodentstore.Float},
+		{Name: "lon", Type: rodentstore.Float},
+		{Name: "id", Type: rodentstore.String},
+	}
+}
+
+func loadTraces(t *testing.T, db *rodentstore.DB, layout string, n int) []rodentstore.Row {
+	t.Helper()
+	if err := db.CreateTable("Traces", tracesFields(), layout); err != nil {
+		t.Fatal(err)
+	}
+	rows := cartel.Generate(cartel.DefaultConfig(n))
+	if err := db.Load("Traces", rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestEndToEndQuickstart(t *testing.T) {
+	db := newDB(t, nil)
+	rows := loadTraces(t, db, "rows(Traces)", 1000)
+
+	if got := db.Tables(); len(got) != 1 || got[0] != "Traces" {
+		t.Errorf("tables: %v", got)
+	}
+	if n, _ := db.RowCount("Traces"); n != 1000 {
+		t.Errorf("rows: %d", n)
+	}
+	if l, _ := db.LayoutOf("Traces"); l != "rows(Traces)" {
+		t.Errorf("layout: %s", l)
+	}
+	fields, err := db.SchemaOf("Traces")
+	if err != nil || len(fields) != 4 {
+		t.Errorf("schema: %v %v", fields, err)
+	}
+
+	cur, err := db.Scan("Traces", rodentstore.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Errorf("scanned %d rows", len(got))
+	}
+}
+
+func TestQueryWithWhereAndFields(t *testing.T) {
+	db := newDB(t, nil)
+	rows := loadTraces(t, db, "zorder(grid[lat,lon; 16,16](Traces))", 2000)
+
+	where := "lat >= 42.355 and lat < 42.365 and lon >= -71.095 and lon < -71.085"
+	cur, err := db.Scan("Traces", rodentstore.Query{Fields: []string{"lat", "lon"}, Where: where})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cur.All()
+	want := 0
+	for _, r := range rows {
+		lat, lon := r[1].Float(), r[2].Float()
+		if lat >= 42.355 && lat < 42.365 && lon >= -71.095 && lon < -71.085 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("got %d rows, want %d", len(got), want)
+	}
+	if len(got) > 0 && len(got[0]) != 2 {
+		t.Errorf("projection width: %d", len(got[0]))
+	}
+	// Bad predicates error cleanly.
+	if _, err := db.Scan("Traces", rodentstore.Query{Where: "lat ~~ 3"}); err == nil {
+		t.Error("bad where should fail")
+	}
+	if _, err := db.Scan("Traces", rodentstore.Query{OrderBy: "lat sideways"}); err == nil {
+		t.Error("bad orderby should fail")
+	}
+}
+
+func TestOrderByQuery(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "rows(Traces)", 500)
+	cur, err := db.Scan("Traces", rodentstore.Query{OrderBy: "lat desc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cur.All()
+	for i := 1; i < len(got); i++ {
+		if got[i][1].Float() > got[i-1][1].Float() {
+			t.Fatal("not descending")
+		}
+	}
+}
+
+func TestGetElementAPI(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "orderby[t](Traces)", 500)
+	// The element at position 100 must equal the 101st row of a full scan
+	// in stored order.
+	scan, _ := db.Scan("Traces", rodentstore.Query{})
+	all, _ := scan.All()
+	cur, err := db.GetElement("Traces", nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, _ := cur.Next()
+	if !ok || r[0].Int() != all[100][0].Int() || r[3].Str() != all[100][3].Str() {
+		t.Errorf("element 100: got %v want %v", r, all[100])
+	}
+}
+
+func TestCostAPIs(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "zorder(grid[lat,lon; 16,16](Traces))", 3000)
+	full, err := db.ScanCost("Traces", rodentstore.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := db.ScanCost("Traces", rodentstore.Query{
+		Where: "lat >= 42.359 and lat < 42.361 and lon >= -71.091 and lon < -71.089",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Pages >= full.Pages || sel.Ms >= full.Ms {
+		t.Errorf("selective scan should be cheaper: %+v vs %+v", sel, full)
+	}
+	g, err := db.GetElementCost("Traces", nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Pages == 0 || g.Pages > full.Pages {
+		t.Errorf("getElement cost: %+v", g)
+	}
+}
+
+func TestOrderListAPI(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "zorder(grid[lat,lon; 8,8](orderby[t](Traces)))", 200)
+	orders, err := db.OrderList("Traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(orders, " | ")
+	if !strings.Contains(joined, "zorder(lat,lon)") {
+		t.Errorf("order list: %v", orders)
+	}
+}
+
+func TestAlterLayoutAPI(t *testing.T) {
+	db := newDB(t, nil)
+	rows := loadTraces(t, db, "rows(Traces)", 400)
+	if err := db.AlterLayout("Traces", "cols(Traces)", true); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := db.LayoutOf("Traces"); l != "cols(Traces)" {
+		t.Errorf("layout after alter: %s", l)
+	}
+	cur, _ := db.Scan("Traces", rodentstore.Query{})
+	got, _ := cur.All()
+	if len(got) != len(rows) {
+		t.Errorf("rows after alter: %d", len(got))
+	}
+	if err := db.ValidateLayout("Traces", "project[bogus](Traces)"); err == nil {
+		t.Error("invalid layout should fail validation")
+	}
+	if err := db.ValidateLayout("Traces", "rows(Other)"); err == nil {
+		t.Error("wrong-table layout should fail validation")
+	}
+	if err := db.ValidateLayout("Traces", "delta[lat](rows(Traces))"); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+}
+
+func TestInsertReorganizeAPI(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "orderby[t](Traces)", 300)
+	extra := cartel.Generate(cartel.Config{N: 50, Cars: 2, StepDeg: 7e-5, TripLen: 100, Seed: 9})
+	if err := db.Insert("Traces", extra); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.RowCount("Traces"); n != 350 {
+		t.Errorf("count: %d", n)
+	}
+	if err := db.Reorganize("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := db.Scan("Traces", rodentstore.Query{})
+	got, _ := cur.All()
+	if len(got) != 350 {
+		t.Errorf("rows after reorganize: %d", len(got))
+	}
+}
+
+func TestPersistenceAPI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.rdnt")
+	db, err := rodentstore.Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("Traces", tracesFields(), "delta[lat,lon](zorder(grid[lat,lon; 8,8](Traces)))")
+	rows := cartel.Generate(cartel.DefaultConfig(500))
+	db.Load("Traces", rows)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := rodentstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	cur, err := db2.Scan("Traces", rodentstore.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cur.All()
+	if len(got) != len(rows) {
+		t.Errorf("rows after reopen: %d", len(got))
+	}
+}
+
+func TestBufferPoolOption(t *testing.T) {
+	db := newDB(t, &rodentstore.Options{CachePages: 256})
+	loadTraces(t, db, "rows(Traces)", 1000)
+	// First scan cold, second warm: physical reads must not double.
+	db.ResetIOStats()
+	cur, _ := db.Scan("Traces", rodentstore.Query{})
+	cur.All()
+	cold := db.IOStats().PageReads
+	cur2, _ := db.Scan("Traces", rodentstore.Query{})
+	cur2.All()
+	total := db.IOStats().PageReads
+	if total >= cold*2 {
+		t.Errorf("second scan not served from cache: cold=%d total=%d", cold, total)
+	}
+	if err := db.InvalidateCache(); err != nil {
+		t.Fatal(err)
+	}
+	cur3, _ := db.Scan("Traces", rodentstore.Query{})
+	cur3.All()
+	if after := db.IOStats().PageReads; after <= total {
+		t.Errorf("invalidated cache should hit disk again: %d -> %d", total, after)
+	}
+}
+
+func TestAdviseAPI(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "rows(Traces)", 5000)
+	advice, err := db.Advise("Traces", []rodentstore.WorkloadQuery{
+		{
+			Fields: []string{"lat", "lon"},
+			Where:  "lat >= 42.35 and lat < 42.37 and lon >= -71.1 and lon < -71.08",
+			Weight: 100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Layout == "" || len(advice.Alternatives) < 5 {
+		t.Fatalf("advice: %+v", advice)
+	}
+	// The advice must be applicable.
+	if err := db.ValidateLayout("Traces", advice.Layout); err != nil {
+		t.Errorf("advised layout invalid: %v", err)
+	}
+	if err := db.AlterLayout("Traces", advice.Layout, true); err != nil {
+		t.Errorf("advised layout failed to apply: %v", err)
+	}
+	cur, _ := db.Scan("Traces", rodentstore.Query{Fields: []string{"lat"}})
+	got, _ := cur.All()
+	if len(got) != 5000 {
+		t.Errorf("rows after applying advice: %d", len(got))
+	}
+	// Advising an empty workload or table errors.
+	if _, err := db.Advise("Traces", nil); err == nil {
+		t.Error("empty workload should fail")
+	}
+}
+
+func TestFoldStrategyKnob(t *testing.T) {
+	db := newDB(t, nil)
+	if err := db.SetFoldStrategy("nestedloop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetFoldStrategy("hash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetFoldStrategy("quantum"); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	r := rodentstore.Row{
+		rodentstore.IntValue(1),
+		rodentstore.FloatValue(2.5),
+		rodentstore.StringValue("x"),
+		rodentstore.BytesValue([]byte{1}),
+		rodentstore.BoolValue(true),
+		rodentstore.Null(),
+	}
+	if r[0].Int() != 1 || r[1].Float() != 2.5 || r[2].Str() != "x" || !r[4].Bool() || !r[5].IsNull() {
+		t.Error("constructors broken")
+	}
+}
+
+func TestIndexAPI(t *testing.T) {
+	db := newDB(t, nil)
+	loadTraces(t, db, "rows(Traces)", 2000)
+	if err := db.CreateIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if idx, _ := db.Indexes("Traces"); len(idx) != 1 {
+		t.Fatalf("indexes: %v", idx)
+	}
+	cur, err := db.IndexScan("Traces", rodentstore.Query{Where: "t >= 50 and t < 60"}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := cur.All()
+	if len(rows) == 0 {
+		t.Fatal("no rows from index scan")
+	}
+	for _, r := range rows {
+		if r[0].Int() < 50 || r[0].Int() >= 60 {
+			t.Fatalf("row outside range: %v", r)
+		}
+	}
+	// Compare against a plain scan: identical result multiset size.
+	cur2, _ := db.Scan("Traces", rodentstore.Query{Where: "t >= 50 and t < 60"})
+	plain, _ := cur2.All()
+	if len(plain) != len(rows) {
+		t.Errorf("index scan %d rows, plain scan %d", len(rows), len(plain))
+	}
+	if err := db.DropIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+}
