@@ -133,6 +133,28 @@ func BenchmarkOptimizer(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentThroughput is Ext-9: full-table-scan rows/sec at 1, 4
+// and 16 goroutines (parallel scan workers and independent clients), hot
+// and cold pool. Speedup metrics are relative to the 1-goroutine run of the
+// same series; on multi-core hosts they show the concurrent read path
+// scaling, on a single core they sit near 1.
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.N = 60_000
+	for i := 0; i < b.N; i++ {
+		results, err := bench.ConcurrentThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.RowsPerSec, "rows/sec:"+sanitize(r.Name))
+			if r.Goroutines > 1 {
+				b.ReportMetric(r.Speedup, "speedup:"+sanitize(r.Name))
+			}
+		}
+	}
+}
+
 // BenchmarkReorg is Ext-8: query cost before/after reorganization.
 func BenchmarkReorg(b *testing.B) {
 	cfg := benchConfig(b)

@@ -4,15 +4,19 @@
 // Usage:
 //
 //	rsbench -exp fig2 -n 1000000 -queries 200
-//	rsbench -exp curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|all
+//	rsbench -exp curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|all
+//	rsbench -exp fig2 -json > BENCH_fig2.json
 //
 // The paper's full scale is -n 10000000 (10M observations, ~45 s generate +
 // load per layout); the default 1,000,000 reproduces the same shape in
 // seconds. Results print as aligned tables with the paper's reference
-// numbers where applicable.
+// numbers where applicable, or as a JSON object with -json (one key per
+// experiment, plus the config) so benchmark trajectories can be recorded as
+// BENCH_*.json files across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +25,11 @@ import (
 	"rodentstore/internal/bench"
 )
 
+var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput"}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|all")
+		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|all")
 		n        = flag.Int("n", 1_000_000, "number of observations (paper: 10000000)")
 		queries  = flag.Int("queries", 200, "number of window queries (paper: 200)")
 		area     = flag.Float64("area", 0.01, "query area fraction (paper: 0.01)")
@@ -31,6 +37,7 @@ func main() {
 		cells    = flag.Int("cells", 64, "grid cells per axis")
 		dir      = flag.String("dir", os.TempDir(), "scratch directory")
 		seed     = flag.Int64("seed", 1, "random seed")
+		jsonOut  = flag.Bool("json", false, "emit results as one JSON object instead of tables")
 	)
 	flag.Parse()
 
@@ -39,65 +46,120 @@ func main() {
 		PageSize: *pageSize, GridCells: *cells, Dir: *dir, Seed: *seed,
 	}
 
-	run := func(name string) error {
+	// run executes one experiment, returning its raw results for -json.
+	run := func(name string) (any, error) {
 		switch name {
 		case "fig2":
-			return runFig2(cfg)
+			return bench.Figure2(cfg)
 		case "curve":
-			return runResults("Ext-1: cell-ordering curves (the N3 -> N3' step)", func() ([]bench.Result, error) {
-				return bench.CurveSeeks(cfg)
-			})
+			return bench.CurveSeeks(cfg)
 		case "cells":
-			return runResults("Ext-2: grid cell-size sweep", func() ([]bench.Result, error) {
-				return bench.GridCellSweep(cfg, []int{16, 32, 64, 128, 256})
-			})
+			return bench.GridCellSweep(cfg, []int{16, 32, 64, 128, 256})
 		case "pagesize":
-			return runResults("Ext-3: page-size sweep (N4 layout)", func() ([]bench.Result, error) {
-				return bench.PageSizeSweep(cfg, []int{512, 1024, 4096, 16384, 65536})
-			})
+			return bench.PageSizeSweep(cfg, []int{512, 1024, 4096, 16384, 65536})
 		case "codecs":
-			return runResults("Ext-4: codec ablation on the z-ordered grid", func() ([]bench.Result, error) {
-				return bench.Codecs(cfg)
-			})
+			return bench.Codecs(cfg)
 		case "fold":
-			return runFold()
+			return bench.FoldRender([]int{1000, 5000, 20000, 50000}, 100), nil
 		case "dsm":
-			return runResults("Ext-6: row vs column vs hybrid (1 of 8 columns scanned)", func() ([]bench.Result, error) {
-				return bench.RowVsColumn(cfg, 8)
-			})
+			return bench.RowVsColumn(cfg, 8)
 		case "advisor":
-			return runResults("Ext-7: storage design optimizer vs hand-tuned layouts", func() ([]bench.Result, error) {
-				return bench.AdvisorQuality(cfg)
-			})
+			return bench.AdvisorQuality(cfg)
 		case "reorg":
-			return runReorg(cfg)
+			return bench.Reorg(cfg)
+		case "throughput":
+			return bench.ConcurrentThroughput(cfg)
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg"}
+		names = allExperiments
 	} else {
 		names = []string{*exp}
 	}
+
+	collected := make(map[string]any, len(names))
 	for _, name := range names {
-		if err := run(name); err != nil {
+		if !*jsonOut {
+			// The title doubles as a progress marker: experiments can run
+			// for minutes at paper scale.
+			fmt.Println(title(cfg, name))
+		}
+		data, err := run(name)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "rsbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		collected[name] = data
+		if !*jsonOut {
+			if err := print(name, data); err != nil {
+				fmt.Fprintf(os.Stderr, "rsbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"config": cfg, "experiments": collected}); err != nil {
+			fmt.Fprintf(os.Stderr, "rsbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func runFig2(cfg bench.Config) error {
-	fmt.Printf("Figure 2: avg pages/query over %d observations, %d queries covering %.1f%% of area, %dB pages\n",
-		cfg.N, cfg.Queries, cfg.AreaFraction*100, cfg.PageSize)
-	results, err := bench.Figure2(cfg)
-	if err != nil {
-		return err
+// title describes one experiment; printed before it runs as a progress
+// marker.
+func title(cfg bench.Config, name string) string {
+	switch name {
+	case "fig2":
+		return fmt.Sprintf("Figure 2: avg pages/query over %d observations, %d queries covering %.1f%% of area, %dB pages",
+			cfg.N, cfg.Queries, cfg.AreaFraction*100, cfg.PageSize)
+	case "curve":
+		return "Ext-1: cell-ordering curves (the N3 -> N3' step)"
+	case "cells":
+		return "Ext-2: grid cell-size sweep"
+	case "pagesize":
+		return "Ext-3: page-size sweep (N4 layout)"
+	case "codecs":
+		return "Ext-4: codec ablation on the z-ordered grid"
+	case "fold":
+		return "Ext-5: fold rendering — Algorithm 1 (nested loops) vs hash (paper §4.2)"
+	case "dsm":
+		return "Ext-6: row vs column vs hybrid (1 of 8 columns scanned)"
+	case "advisor":
+		return "Ext-7: storage design optimizer vs hand-tuned layouts"
+	case "reorg":
+		return "Ext-8: reorganization strategies (paper §5)"
+	case "throughput":
+		return "Ext-9: concurrent read throughput (sharded pool, lock-free pager, parallel scan)"
 	}
+	return name
+}
+
+// print renders one experiment's results as an aligned text table (the
+// title has already been printed).
+func print(name string, data any) error {
+	switch name {
+	case "fig2":
+		return printFig2(data.([]bench.Result))
+	case "curve", "cells", "pagesize", "codecs", "dsm", "advisor":
+		return printResults(data.([]bench.Result))
+	case "fold":
+		return printFold(data.([]bench.FoldResult))
+	case "reorg":
+		return printReorg(data.([]bench.ReorgResult))
+	case "throughput":
+		return printThroughput(data.([]bench.ThroughputResult))
+	}
+	return fmt.Errorf("no printer for %q", name)
+}
+
+func printFig2(results []bench.Result) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "layout\tpages/query\tseeks/query\tms/query\trows/query\tdata pages\tpaper(10M)")
 	for _, r := range results {
@@ -111,12 +173,7 @@ func runFig2(cfg bench.Config) error {
 	return w.Flush()
 }
 
-func runResults(title string, fn func() ([]bench.Result, error)) error {
-	fmt.Println(title)
-	results, err := fn()
-	if err != nil {
-		return err
-	}
+func printResults(results []bench.Result) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "variant\tpages/query\tseeks/query\tseek dist\tms/query\trows/query\tdata pages")
 	for _, r := range results {
@@ -126,9 +183,7 @@ func runResults(title string, fn func() ([]bench.Result, error)) error {
 	return w.Flush()
 }
 
-func runFold() error {
-	fmt.Println("Ext-5: fold rendering — Algorithm 1 (nested loops) vs hash (paper §4.2)")
-	results := bench.FoldRender([]int{1000, 5000, 20000, 50000}, 100)
+func printFold(results []bench.FoldResult) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "rows\tgroups\tnested-loop ms\thash ms\tspeedup")
 	for _, r := range results {
@@ -137,16 +192,25 @@ func runFold() error {
 	return w.Flush()
 }
 
-func runReorg(cfg bench.Config) error {
-	fmt.Println("Ext-8: reorganization strategies (paper §5)")
-	results, err := bench.Reorg(cfg)
-	if err != nil {
-		return err
-	}
+func printReorg(results []bench.ReorgResult) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "state\tpages/query\treorg ms")
 	for _, r := range results {
 		fmt.Fprintf(w, "%s\t%.0f\t%.1f\n", r.Name, r.PagesQuery, r.ReorgMs)
+	}
+	return w.Flush()
+}
+
+func printThroughput(results []bench.ThroughputResult) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\tmode\tgoroutines\tpool\trows\tms\trows/sec\tspeedup")
+	for _, r := range results {
+		temp := "cold"
+		if r.Hot {
+			temp = "hot"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%d\t%.1f\t%.0f\t%.2fx\n",
+			r.Name, r.Mode, r.Goroutines, temp, r.Rows, r.Ms, r.RowsPerSec, r.Speedup)
 	}
 	return w.Flush()
 }

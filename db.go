@@ -83,11 +83,20 @@ type Query struct {
 	// OrderBy requests a sort order, e.g. "t" or "lat desc, lon".
 	// Orders matching the stored order stream; others re-sort.
 	OrderBy string
+	// Parallel fans block fetch/decode out over a bounded worker pool.
+	// Results are identical to a serial scan (stored order is preserved);
+	// only the wall-clock changes.
+	Parallel bool
+	// Workers bounds the parallel worker pool (0 = GOMAXPROCS). Ignored
+	// unless Parallel is set.
+	Workers int
 }
 
 func (q Query) toOptions() (table.ScanOptions, error) {
 	var opts table.ScanOptions
 	opts.Fields = q.Fields
+	opts.Parallel = q.Parallel
+	opts.Workers = q.Workers
 	if strings.TrimSpace(q.Where) != "" {
 		pred, err := algebra.ParsePredicate(q.Where)
 		if err != nil {

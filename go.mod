@@ -1,0 +1,3 @@
+module rodentstore
+
+go 1.24

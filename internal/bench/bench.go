@@ -119,7 +119,7 @@ func runQueries(e *env, tableName string, queries []cartel.Query, fields []strin
 
 // runQueriesOpt optionally disables zone-map pruning so baseline layouts
 // behave like the paper's plain heap scans (RodentStore's zone maps would
-// otherwise act as an implicit index; see EXPERIMENTS.md).
+// otherwise act as an implicit index; see DESIGN.md).
 func runQueriesOpt(e *env, tableName string, queries []cartel.Query, fields []string, noZone bool) (Result, error) {
 	var r Result
 	for _, q := range queries {

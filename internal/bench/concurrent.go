@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rodentstore/internal/buffer"
+	"rodentstore/internal/cartel"
+	"rodentstore/internal/table"
+)
+
+// ThroughputResult is one concurrent-read measurement: full-table scan
+// throughput at a given degree of parallelism, against a hot (buffer pool
+// pre-warmed) or cold (pager direct) read path.
+type ThroughputResult struct {
+	// Name labels the run, e.g. "scan-workers w=4 hot".
+	Name string
+	// Mode is "workers" (one scan, parallel block decode) or "clients"
+	// (independent concurrent scans, one per goroutine).
+	Mode string
+	// Goroutines is the degree of parallelism (scan workers or client
+	// goroutines).
+	Goroutines int
+	// Hot reports whether reads went through a pre-warmed buffer pool.
+	Hot bool
+	// Rows is the total rows returned across all scans of the run.
+	Rows int64
+	// Ms is the wall time of the run.
+	Ms float64
+	// RowsPerSec is Rows / wall seconds.
+	RowsPerSec float64
+	// Speedup is RowsPerSec over the 1-goroutine run of the same mode and
+	// temperature.
+	Speedup float64
+}
+
+// ThroughputGoroutineCounts is the parallelism ladder ConcurrentThroughput
+// measures.
+var ThroughputGoroutineCounts = []int{1, 4, 16}
+
+// ConcurrentThroughput measures the concurrent read path end to end: the
+// sharded buffer pool, the lock-free pager reads, and the parallel scan
+// executor. For each pool temperature (cold = pager direct, hot = warmed
+// pool) it reports full-table-scan rows/sec along two axes:
+//
+//   - workers: a single scan whose block decode fans out over N workers
+//     (table.ScanOptions.Parallel) — intra-query parallelism;
+//   - clients: N goroutines each running an independent serial scan —
+//     inter-query parallelism, the shared-engine story of the paper's §1.
+//
+// Speedups are relative to the 1-goroutine run of the same axis and
+// temperature. On a single-core host the numbers degenerate to ~1×; the
+// benchmark is a scaling probe for multi-core hardware, not an assertion.
+func ConcurrentThroughput(cfg Config) ([]ThroughputResult, error) {
+	rows := cartel.Generate(cartel.DefaultConfig(cfg.N))
+	g := cfg.GridCells
+	layout := fmt.Sprintf("chunk[64](zorder(grid[lat,lon; %d,%d](project[lat,lon](Traces))))", g, g)
+	e, err := loadLayout(cfg, "throughput", layout, rows)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	// A pool large enough to hold the whole table makes "hot" runs pure
+	// cache reads.
+	pool, err := buffer.NewPool(e.file, int(e.file.NumPages())+64)
+	if err != nil {
+		return nil, err
+	}
+
+	fields := []string{"lat", "lon"}
+	scanAll := func(parallel bool, workers int) (int64, error) {
+		cur, err := e.eng.Scan("Traces", table.ScanOptions{
+			Fields: fields, Parallel: parallel, Workers: workers,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer cur.Close()
+		var n int64
+		for {
+			_, ok, err := cur.Next()
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				return n, nil
+			}
+			n++
+		}
+	}
+
+	var out []ThroughputResult
+	for _, hot := range []bool{false, true} {
+		if hot {
+			e.eng.Source = pool
+			if _, err := scanAll(false, 0); err != nil { // warm it
+				return nil, err
+			}
+		} else {
+			e.eng.Source = e.file
+		}
+		temp := "cold"
+		if hot {
+			temp = "hot"
+		}
+
+		var base float64
+		for _, n := range ThroughputGoroutineCounts {
+			start := time.Now()
+			got, err := scanAll(n > 1, n)
+			if err != nil {
+				return nil, err
+			}
+			r := mkThroughput("workers", temp, n, hot, got, time.Since(start), &base)
+			out = append(out, r)
+		}
+
+		base = 0
+		for _, n := range ThroughputGoroutineCounts {
+			var total atomic.Int64
+			errs := make(chan error, n)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got, err := scanAll(false, 0)
+					total.Add(got)
+					if err != nil {
+						errs <- err
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errs)
+			for err := range errs {
+				return nil, err
+			}
+			r := mkThroughput("clients", temp, n, hot, total.Load(), elapsed, &base)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// mkThroughput finalizes one measurement, tracking the 1-goroutine baseline
+// of its series in *base.
+func mkThroughput(mode, temp string, n int, hot bool, rows int64, elapsed time.Duration, base *float64) ThroughputResult {
+	secs := elapsed.Seconds()
+	rps := 0.0
+	if secs > 0 {
+		rps = float64(rows) / secs
+	}
+	if n == 1 {
+		*base = rps
+	}
+	speedup := 0.0
+	if *base > 0 {
+		speedup = rps / *base
+	}
+	return ThroughputResult{
+		Name:       fmt.Sprintf("scan-%s n=%d %s", mode, n, temp),
+		Mode:       mode,
+		Goroutines: n,
+		Hot:        hot,
+		Rows:       rows,
+		Ms:         float64(elapsed.Microseconds()) / 1000.0,
+		RowsPerSec: rps,
+		Speedup:    speedup,
+	}
+}

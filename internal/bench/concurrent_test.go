@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+func TestConcurrentThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig(t)
+	results, err := ConcurrentThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 temperatures × 2 modes × len(ladder) runs.
+	want := 2 * 2 * len(ThroughputGoroutineCounts)
+	if len(results) != want {
+		t.Fatalf("results: %d, want %d", len(results), want)
+	}
+	for _, r := range results {
+		// Every run scans the full table once per goroutine in clients
+		// mode, once total in workers mode.
+		perScan := int64(cfg.N)
+		wantRows := perScan
+		if r.Mode == "clients" {
+			wantRows = perScan * int64(r.Goroutines)
+		}
+		if r.Rows != wantRows {
+			t.Errorf("%s: rows %d, want %d", r.Name, r.Rows, wantRows)
+		}
+		if r.RowsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput", r.Name)
+		}
+		if r.Goroutines == 1 && (r.Speedup < 0.99 || r.Speedup > 1.01) {
+			t.Errorf("%s: baseline speedup %f, want 1.0", r.Name, r.Speedup)
+		}
+	}
+}

@@ -4,19 +4,34 @@
 // the memory-management facility shared by every layout RodentStore renders.
 //
 // The pool caches page payloads above the pager with CLOCK (second-chance)
-// eviction, pin counts, dirty tracking and write-back. Logical I/O
-// statistics for experiments are taken at the pager, so measured scans run
-// with a cold pool (or bypass it) to reproduce the paper's page counts.
+// eviction, pin counts, dirty tracking and write-back. To scale with
+// concurrent readers, frames are split into lock-striped shards keyed by a
+// hash of the PageID: each shard has its own mutex, frame array, CLOCK hand
+// and atomic hit/miss counters, so scans on different goroutines contend
+// only when they touch pages in the same shard. A shard lock is never held
+// across a miss's disk read — the page is fetched outside the lock and the
+// insert race (two goroutines missing on the same page) is resolved by
+// adopting whichever frame was installed first.
+//
+// Logical I/O statistics for experiments are taken at the pager, so measured
+// scans run with a cold pool (or bypass it) to reproduce the paper's page
+// counts.
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rodentstore/internal/pager"
 )
 
-// Stats counts pool activity.
+// errShardPinned marks eviction failure because every frame of the target
+// shard is pinned; scan paths degrade to uncached reads instead of failing.
+var errShardPinned = errors.New("all frames in shard pinned")
+
+// Stats counts pool activity, aggregated over all shards.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
@@ -31,29 +46,159 @@ type frame struct {
 	dirty    bool
 	refbit   bool // CLOCK second-chance bit
 	occupied bool
+	// pending is non-nil while the frame's disk read is in flight: the
+	// frame is claimed (pinned, indexed) before the shard lock drops, so a
+	// concurrent write+evict of the same page can never race a stale copy
+	// into the cache. Waiters block on the channel, which closes when the
+	// read completes (or fails and the frame is released).
+	pending chan struct{}
+}
+
+// shard is one lock stripe of the pool: a private frame array with its own
+// CLOCK hand and index.
+type shard struct {
+	mu     sync.Mutex
+	frames []frame
+	index  map[pager.PageID]int // page -> frame
+	hand   int                  // CLOCK hand
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	flushes   atomic.Uint64
 }
 
 // Pool is a fixed-capacity page cache. All methods are safe for concurrent
 // use.
 type Pool struct {
-	mu     sync.Mutex
 	file   *pager.File
-	frames []frame
-	index  map[pager.PageID]int // page -> frame
-	hand   int                  // CLOCK hand
-	stats  Stats
+	shards []*shard
+	mask   uint64
 }
 
-// NewPool creates a pool with capacity frames over file.
+// maxShards bounds lock striping; beyond this the per-shard CLOCK domains
+// get too small to evict sensibly.
+const maxShards = 16
+
+// numShards picks a power-of-two shard count for a capacity, keeping at
+// least 16 frames per shard so each shard's CLOCK has headroom even when
+// several frames are pinned at once. Small pools (capacity < 32)
+// degenerate to a single shard, which preserves the exact historical
+// single-pool eviction behavior.
+func numShards(capacity int) int {
+	n := 1
+	for n < maxShards && n*32 <= capacity {
+		n *= 2
+	}
+	return n
+}
+
+// NewPool creates a pool with capacity frames over file, striped into
+// shards (see numShards).
 func NewPool(file *pager.File, capacity int) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
 	}
-	return &Pool{
-		file:   file,
-		frames: make([]frame, capacity),
-		index:  make(map[pager.PageID]int, capacity),
-	}, nil
+	n := numShards(capacity)
+	p := &Pool{file: file, shards: make([]*shard, n), mask: uint64(n - 1)}
+	base, extra := capacity/n, capacity%n
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		p.shards[i] = &shard{
+			frames: make([]frame, c),
+			index:  make(map[pager.PageID]int, c),
+		}
+	}
+	return p, nil
+}
+
+// shardOf maps a page to its shard with a Fibonacci hash, so sequential
+// extents spread across stripes.
+func (p *Pool) shardOf(id pager.PageID) *shard {
+	return p.shards[(uint64(id)*0x9E3779B97F4A7C15>>47)&p.mask]
+}
+
+// Lease pins page id and returns a zero-copy view of its cached payload,
+// reading through the pager on a miss. The returned Lease's Data slice is
+// the cached frame itself: callers that modify it must MarkDirty before
+// Release, and must not retain the slice after Release.
+//
+// A miss claims a frame and publishes it in the index (pinned, pending)
+// *before* dropping the shard lock for the disk read, so the page can
+// never be concurrently rewritten and evicted behind the reader's back —
+// the interleaving that would otherwise install a stale copy. Concurrent
+// accessors of an in-flight page wait for the read instead of duplicating
+// it.
+func (p *Pool) Lease(id pager.PageID) (Lease, error) {
+	sh := p.shardOf(id)
+	for {
+		sh.mu.Lock()
+		if fi, ok := sh.index[id]; ok {
+			f := &sh.frames[fi]
+			if f.pending != nil {
+				ch := f.pending
+				sh.mu.Unlock()
+				<-ch // another goroutine's read is in flight
+				continue
+			}
+			sh.hits.Add(1)
+			f.pins++
+			f.refbit = true
+			data := f.data
+			sh.mu.Unlock()
+			return Lease{sh: sh, id: id, data: data}, nil
+		}
+		// Miss: claim a frame, mark the read in flight, and do the I/O
+		// without holding the shard lock.
+		sh.misses.Add(1)
+		fi, err := sh.victim(p.file)
+		if err != nil {
+			sh.mu.Unlock()
+			return Lease{}, err
+		}
+		ch := make(chan struct{})
+		sh.frames[fi] = frame{id: id, pins: 1, refbit: true, occupied: true, pending: ch}
+		sh.index[id] = fi
+		sh.mu.Unlock()
+
+		data, err := p.file.ReadPage(id)
+
+		sh.mu.Lock()
+		f := &sh.frames[fi]
+		if err != nil {
+			delete(sh.index, id)
+			*f = frame{}
+			sh.mu.Unlock()
+			close(ch)
+			return Lease{}, err
+		}
+		f.data = data
+		f.pending = nil
+		sh.mu.Unlock()
+		close(ch)
+		return Lease{sh: sh, id: id, data: data}, nil
+	}
+}
+
+// Lease is a pinned, zero-copy view of one cached page.
+type Lease struct {
+	sh   *shard
+	id   pager.PageID
+	data []byte
+}
+
+// Data returns the cached frame payload. Valid until Release.
+func (l Lease) Data() []byte { return l.data }
+
+// Release drops the lease's pin.
+func (l Lease) Release() error {
+	if l.sh == nil {
+		return fmt.Errorf("buffer: Release of zero Lease")
+	}
+	return l.sh.unpin(l.id)
 }
 
 // Get returns the payload of page id, reading it through the pager on a
@@ -61,61 +206,61 @@ func NewPool(file *pager.File, capacity int) (*Pool, error) {
 // slice is the cached frame: callers that modify it must call MarkDirty
 // before Unpin.
 func (p *Pool) Get(id pager.PageID) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fi, ok := p.index[id]; ok {
-		p.stats.Hits++
-		p.frames[fi].pins++
-		p.frames[fi].refbit = true
-		return p.frames[fi].data, nil
-	}
-	p.stats.Misses++
-	data, err := p.file.ReadPage(id)
+	l, err := p.Lease(id)
 	if err != nil {
 		return nil, err
 	}
-	fi, err := p.victim()
-	if err != nil {
-		return nil, err
-	}
-	p.frames[fi] = frame{id: id, data: data, pins: 1, refbit: true, occupied: true}
-	p.index[id] = fi
-	return data, nil
+	return l.data, nil
 }
 
 // GetForWrite returns a pinned, writable frame for page id without reading
 // it from disk (for freshly allocated pages). The frame starts dirty.
 func (p *Pool) GetForWrite(id pager.PageID) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fi, ok := p.index[id]; ok {
-		p.frames[fi].pins++
-		p.frames[fi].refbit = true
-		p.frames[fi].dirty = true
-		return p.frames[fi].data, nil
+	sh := p.shardOf(id)
+	for {
+		sh.mu.Lock()
+		if fi, ok := sh.index[id]; ok {
+			f := &sh.frames[fi]
+			if f.pending != nil {
+				ch := f.pending
+				sh.mu.Unlock()
+				<-ch // wait for the in-flight read before overwriting
+				continue
+			}
+			f.pins++
+			f.refbit = true
+			f.dirty = true
+			data := f.data
+			sh.mu.Unlock()
+			return data, nil
+		}
+		fi, err := sh.victim(p.file)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		data := make([]byte, p.file.PayloadSize())
+		sh.frames[fi] = frame{id: id, data: data, pins: 1, dirty: true, refbit: true, occupied: true}
+		sh.index[id] = fi
+		sh.mu.Unlock()
+		return data, nil
 	}
-	fi, err := p.victim()
-	if err != nil {
-		return nil, err
-	}
-	data := make([]byte, p.file.PayloadSize())
-	p.frames[fi] = frame{id: id, data: data, pins: 1, dirty: true, refbit: true, occupied: true}
-	p.index[id] = fi
-	return data, nil
 }
 
 // victim finds a free or evictable frame with the CLOCK policy, flushing a
-// dirty victim. Caller holds p.mu.
-func (p *Pool) victim() (int, error) {
-	n := len(p.frames)
+// dirty victim. Caller holds sh.mu. (The dirty flush is the one place page
+// I/O happens under a shard lock; it is rare on read-mostly paths and only
+// stalls this shard, not the pool.)
+func (sh *shard) victim(file *pager.File) (int, error) {
+	n := len(sh.frames)
 	for spin := 0; spin < 2*n+1; spin++ {
-		fi := p.hand
-		p.hand = (p.hand + 1) % n
-		f := &p.frames[fi]
+		fi := sh.hand
+		sh.hand = (sh.hand + 1) % n
+		f := &sh.frames[fi]
 		if !f.occupied {
 			return fi, nil
 		}
-		if f.pins > 0 {
+		if f.pins > 0 || f.pending != nil {
 			continue
 		}
 		if f.refbit {
@@ -123,60 +268,68 @@ func (p *Pool) victim() (int, error) {
 			continue
 		}
 		if f.dirty {
-			if err := p.file.WritePage(f.id, f.data); err != nil {
+			if err := file.WritePage(f.id, f.data); err != nil {
 				return 0, err
 			}
-			p.stats.Flushes++
+			sh.flushes.Add(1)
 		}
-		delete(p.index, f.id)
-		p.stats.Evictions++
+		delete(sh.index, f.id)
+		sh.evictions.Add(1)
 		f.occupied = false
 		return fi, nil
 	}
-	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+	return 0, fmt.Errorf("buffer: %w (%d frames)", errShardPinned, n)
 }
 
 // MarkDirty flags the page's frame as modified. The page must be resident
 // and pinned.
 func (p *Pool) MarkDirty(id pager.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	fi, ok := p.index[id]
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fi, ok := sh.index[id]
 	if !ok {
 		return fmt.Errorf("buffer: MarkDirty on non-resident page %d", id)
 	}
-	p.frames[fi].dirty = true
+	sh.frames[fi].dirty = true
 	return nil
 }
 
 // Unpin releases one pin on page id.
 func (p *Pool) Unpin(id pager.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	fi, ok := p.index[id]
+	return p.shardOf(id).unpin(id)
+}
+
+func (sh *shard) unpin(id pager.PageID) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fi, ok := sh.index[id]
 	if !ok {
 		return fmt.Errorf("buffer: Unpin on non-resident page %d", id)
 	}
-	if p.frames[fi].pins == 0 {
+	if sh.frames[fi].pins == 0 {
 		return fmt.Errorf("buffer: Unpin on unpinned page %d", id)
 	}
-	p.frames[fi].pins--
+	sh.frames[fi].pins--
 	return nil
 }
 
 // FlushAll writes every dirty frame back to the pager (without evicting).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.occupied && f.dirty {
-			if err := p.file.WritePage(f.id, f.data); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if f.occupied && f.dirty {
+				if err := p.file.WritePage(f.id, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+				sh.flushes.Add(1)
 			}
-			f.dirty = false
-			p.stats.Flushes++
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -185,60 +338,101 @@ func (p *Pool) FlushAll() error {
 // access is a cold read. Experiments call this between queries to reproduce
 // the paper's cold-cache page counts. It fails if any frame is pinned.
 func (p *Pool) Invalidate() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		f := &p.frames[i]
-		if !f.occupied {
-			continue
-		}
-		if f.pins > 0 {
-			return fmt.Errorf("buffer: Invalidate with pinned page %d", f.id)
-		}
-		if f.dirty {
-			if err := p.file.WritePage(f.id, f.data); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if !f.occupied {
+				continue
 			}
-			p.stats.Flushes++
+			if f.pins > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("buffer: Invalidate with pinned page %d", f.id)
+			}
+			if f.dirty {
+				if err := p.file.WritePage(f.id, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				sh.flushes.Add(1)
+			}
+			delete(sh.index, f.id)
+			f.occupied = false
 		}
-		delete(p.index, f.id)
-		f.occupied = false
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // Resident reports whether page id is cached (for tests).
 func (p *Pool) Resident(id pager.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.index[id]
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.index[id]
 	return ok
 }
 
 // ReadPage returns a copy of the page payload, going through the cache.
 // It adapts the pool to segment.PageSource so table scans can run warm.
+// (Scans that can tolerate pinned zero-copy access use LeasePage instead.)
+// Like LeasePage, it degrades to an uncached read when the page's shard is
+// momentarily out of evictable frames.
 func (p *Pool) ReadPage(id pager.PageID) ([]byte, error) {
-	data, err := p.Get(id)
+	data, release, err := p.LeasePage(id)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, len(data))
 	copy(out, data)
-	if err := p.Unpin(id); err != nil {
+	if err := release(); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// LeasePage adapts the pool to segment.PageLeaser: pinned zero-copy page
+// access for scan paths. If the page's shard is momentarily out of
+// evictable frames (every frame pinned by concurrent scans), the read
+// degrades to an uncached pager read instead of failing the scan.
+func (p *Pool) LeasePage(id pager.PageID) ([]byte, func() error, error) {
+	l, err := p.Lease(id)
+	if err == nil {
+		return l.data, l.Release, nil
+	}
+	if !errors.Is(err, errShardPinned) {
+		return nil, nil, err
+	}
+	data, err := p.file.ReadPage(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
+
 // PayloadSize returns the underlying file's page payload size.
 func (p *Pool) PayloadSize() int { return p.file.PayloadSize() }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters aggregated over shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for _, sh := range p.shards {
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
+		s.Flushes += sh.flushes.Load()
+	}
+	return s
 }
 
-// Capacity returns the number of frames.
-func (p *Pool) Capacity() int { return len(p.frames) }
+// Capacity returns the total number of frames across shards.
+func (p *Pool) Capacity() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh.frames)
+	}
+	return n
+}
+
+// Shards returns the number of lock stripes (for tests and diagnostics).
+func (p *Pool) Shards() int { return len(p.shards) }

@@ -9,6 +9,15 @@
 // successor of the previously read page, which reproduces both metrics
 // without depending on physical hardware.
 //
+// Concurrency: page reads and writes use positional I/O (ReadAt/WriteAt) and
+// never serialize on a global lock — concurrent readers of distinct pages
+// proceed fully in parallel. A striped reader/writer lock per page keeps a
+// read from observing a torn concurrent write of the same page. Allocation,
+// the free list, metadata slots and header writes sit under one small
+// mutex, and the I/O counters are atomics. Seek adjacency (lastRead) is
+// tracked under its own tiny lock, so single-threaded experiment runs
+// produce exactly the same Seeks/SeekDistance as the original serial pager.
+//
 // Layout: page 0 is the header (magic, page size, allocation cursor, meta
 // slots, persisted free extents); all other pages belong to callers. Each
 // page is [crc32 (4 B) | payload]. Dense-packing of data into payloads is
@@ -22,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page in the file. Page 0 is the header; callers never
@@ -48,6 +58,10 @@ const (
 	// maxFreeExtents caps the persisted free list; further frees leak space
 	// (counted in Stats.LeakedPages) rather than complicating the format.
 	maxFreeExtents = 128
+	// pageStripes is the number of page-level RW locks. Distinct pages in
+	// different stripes never contend; same-page read/write pairs are
+	// serialized so checksums stay consistent.
+	pageStripes = 128
 )
 
 // Stats counts logical I/O. Seeks increments when a read is not sequential
@@ -66,6 +80,17 @@ type Stats struct {
 	LeakedPages  uint64
 }
 
+// counters is the lock-free internal form of Stats.
+type counters struct {
+	pageReads    atomic.Uint64
+	pageWrites   atomic.Uint64
+	seeks        atomic.Uint64
+	seekDistance atomic.Uint64
+	allocs       atomic.Uint64
+	frees        atomic.Uint64
+	leakedPages  atomic.Uint64
+}
+
 // Extent is a contiguous run of pages [Start, Start+Count).
 type Extent struct {
 	Start PageID
@@ -73,19 +98,34 @@ type Extent struct {
 }
 
 // File is a page store backed by one OS file. All methods are safe for
-// concurrent use.
+// concurrent use; page reads and writes do not take any global lock.
 type File struct {
-	mu       sync.Mutex
 	f        *os.File
 	path     string
 	pageSize int
-	nextPage PageID // allocation cursor (== number of pages incl. header)
-	free     []Extent
-	meta     [metaSlots]uint64
-	stats    Stats
+	readOnly bool
+
+	// mu guards allocation state: the free list, metadata slots and header
+	// writes. It is never held across page I/O issued by readers.
+	mu   sync.Mutex
+	free []Extent
+	meta [metaSlots]uint64
+
+	// nextPage is the allocation cursor (== number of pages incl. header).
+	// Written under mu; read lock-free by checkID.
+	nextPage atomic.Uint64
+
+	// pageLocks stripes page-level access so a reader never observes a torn
+	// concurrent write of the same page. Readers share the stripe.
+	pageLocks [pageStripes]sync.RWMutex
+
+	stats counters
+
+	// seekMu orders seek-adjacency tracking. Serial callers see exactly the
+	// historical Seeks/SeekDistance accounting.
+	seekMu   sync.Mutex
 	lastRead PageID
 	haveLast bool
-	readOnly bool
 }
 
 // Create creates a new page file at path with the given page size,
@@ -98,8 +138,12 @@ func Create(path string, pageSize int) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pager: create %s: %w", path, err)
 	}
-	p := &File{f: f, path: path, pageSize: pageSize, nextPage: 1}
-	if err := p.writeHeader(); err != nil {
+	p := &File{f: f, path: path, pageSize: pageSize}
+	p.nextPage.Store(1)
+	p.mu.Lock()
+	err = p.writeHeader()
+	p.mu.Unlock()
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -133,13 +177,14 @@ func Open(path string) (*File, error) {
 
 // header layout (after the 8-byte magic): pageSize u32, nextPage u64,
 // meta[16] u64, nfree u32, {start u64, count u64}*nfree, leaked u64.
+// Caller holds p.mu.
 func (p *File) writeHeader() error {
 	buf := make([]byte, p.pageSize)
 	copy(buf, magic)
 	off := 8
 	binary.LittleEndian.PutUint32(buf[off:], uint32(p.pageSize))
 	off += 4
-	binary.LittleEndian.PutUint64(buf[off:], uint64(p.nextPage))
+	binary.LittleEndian.PutUint64(buf[off:], p.nextPage.Load())
 	off += 8
 	for _, m := range p.meta {
 		binary.LittleEndian.PutUint64(buf[off:], m)
@@ -153,7 +198,7 @@ func (p *File) writeHeader() error {
 		binary.LittleEndian.PutUint64(buf[off:], e.Count)
 		off += 8
 	}
-	binary.LittleEndian.PutUint64(buf[off:], p.stats.LeakedPages)
+	binary.LittleEndian.PutUint64(buf[off:], p.stats.leakedPages.Load())
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("pager: write header: %w", err)
 	}
@@ -167,7 +212,7 @@ func (p *File) parseHeader(buf []byte) error {
 	if p.pageSize < MinPageSize || p.pageSize > MaxPageSize {
 		return fmt.Errorf("pager: corrupt header: page size %d", p.pageSize)
 	}
-	p.nextPage = PageID(binary.LittleEndian.Uint64(buf[off:]))
+	p.nextPage.Store(binary.LittleEndian.Uint64(buf[off:]))
 	off += 8
 	for i := range p.meta {
 		p.meta[i] = binary.LittleEndian.Uint64(buf[off:])
@@ -185,7 +230,7 @@ func (p *File) parseHeader(buf []byte) error {
 		p.free[i].Count = binary.LittleEndian.Uint64(buf[off:])
 		off += 8
 	}
-	p.stats.LeakedPages = binary.LittleEndian.Uint64(buf[off:])
+	p.stats.leakedPages.Store(binary.LittleEndian.Uint64(buf[off:]))
 	return nil
 }
 
@@ -200,7 +245,7 @@ func (p *File) PayloadSize() int { return p.pageSize - pageHeaderSize }
 func (p *File) NumPages() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := uint64(p.nextPage) - 1
+	n := p.nextPage.Load() - 1
 	for _, e := range p.free {
 		n -= e.Count
 	}
@@ -230,7 +275,7 @@ func (p *File) AllocateRun(n uint64) (PageID, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Allocs++
+	p.stats.allocs.Add(1)
 	for i, e := range p.free {
 		if e.Count >= n {
 			start := e.Start
@@ -242,13 +287,15 @@ func (p *File) AllocateRun(n uint64) (PageID, error) {
 			return start, p.writeHeader()
 		}
 	}
-	start := p.nextPage
-	p.nextPage += PageID(n)
+	start := PageID(p.nextPage.Load())
+	next := uint64(start) + n
 	// Extend the file so reads of unwritten pages fail loudly via checksum
-	// rather than short reads.
-	if err := p.f.Truncate(int64(p.nextPage) * int64(p.pageSize)); err != nil {
+	// rather than short reads. The new cursor publishes only after the file
+	// covers it.
+	if err := p.f.Truncate(int64(next) * int64(p.pageSize)); err != nil {
 		return InvalidPage, fmt.Errorf("pager: extend: %w", err)
 	}
+	p.nextPage.Store(next)
 	return start, p.writeHeader()
 }
 
@@ -263,7 +310,7 @@ func (p *File) FreeRun(start PageID, n uint64) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Frees++
+	p.stats.frees.Add(1)
 	p.free = append(p.free, Extent{start, n})
 	sort.Slice(p.free, func(i, j int) bool { return p.free[i].Start < p.free[j].Start })
 	merged := p.free[:0]
@@ -277,38 +324,48 @@ func (p *File) FreeRun(start PageID, n uint64) error {
 	p.free = merged
 	if len(p.free) > maxFreeExtents {
 		for _, e := range p.free[maxFreeExtents:] {
-			p.stats.LeakedPages += e.Count
+			p.stats.leakedPages.Add(e.Count)
 		}
 		p.free = p.free[:maxFreeExtents]
 	}
 	return p.writeHeader()
 }
 
-// ReadPage reads the payload of page id into a fresh slice, verifying the
-// checksum and updating read/seek statistics.
-func (p *File) ReadPage(id PageID) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.checkID(id); err != nil {
-		return nil, err
-	}
-	buf := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	p.stats.PageReads++
+// noteRead updates seek-adjacency tracking for a read of page id.
+func (p *File) noteRead(id PageID) {
+	p.seekMu.Lock()
 	if !p.haveLast || id != p.lastRead+1 {
-		p.stats.Seeks++
+		p.stats.seeks.Add(1)
 		if p.haveLast {
 			expected := p.lastRead + 1
 			if id > expected {
-				p.stats.SeekDistance += uint64(id - expected)
+				p.stats.seekDistance.Add(uint64(id - expected))
 			} else {
-				p.stats.SeekDistance += uint64(expected - id)
+				p.stats.seekDistance.Add(uint64(expected - id))
 			}
 		}
 	}
 	p.lastRead, p.haveLast = id, true
+	p.seekMu.Unlock()
+}
+
+// ReadPage reads the payload of page id into a fresh slice, verifying the
+// checksum and updating read/seek statistics. Concurrent reads of distinct
+// pages run fully in parallel (positional I/O, no global lock).
+func (p *File) ReadPage(id PageID) ([]byte, error) {
+	if err := p.checkID(id); err != nil {
+		return nil, err
+	}
+	lk := &p.pageLocks[uint64(id)%pageStripes]
+	buf := make([]byte, p.pageSize)
+	lk.RLock()
+	_, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize))
+	lk.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	p.stats.pageReads.Add(1)
+	p.noteRead(id)
 	want := binary.LittleEndian.Uint32(buf)
 	if got := crc32.ChecksumIEEE(buf[pageHeaderSize:]); got != want {
 		return nil, fmt.Errorf("pager: page %d checksum mismatch (corrupt or never written)", id)
@@ -318,8 +375,6 @@ func (p *File) ReadPage(id PageID) ([]byte, error) {
 
 // WritePage writes payload (at most PayloadSize bytes) to page id.
 func (p *File) WritePage(id PageID, payload []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.readOnly {
 		return fmt.Errorf("pager: file is read-only")
 	}
@@ -332,16 +387,20 @@ func (p *File) WritePage(id PageID, payload []byte) error {
 	buf := make([]byte, p.pageSize)
 	copy(buf[pageHeaderSize:], payload)
 	binary.LittleEndian.PutUint32(buf, crc32.ChecksumIEEE(buf[pageHeaderSize:]))
-	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+	lk := &p.pageLocks[uint64(id)%pageStripes]
+	lk.Lock()
+	_, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize))
+	lk.Unlock()
+	if err != nil {
 		return fmt.Errorf("pager: write page %d: %w", id, err)
 	}
-	p.stats.PageWrites++
+	p.stats.pageWrites.Add(1)
 	return nil
 }
 
 func (p *File) checkID(id PageID) error {
-	if id == InvalidPage || id >= p.nextPage {
-		return fmt.Errorf("pager: page %d out of range [1,%d)", id, p.nextPage)
+	if id == InvalidPage || uint64(id) >= p.nextPage.Load() {
+		return fmt.Errorf("pager: page %d out of range [1,%d)", id, p.nextPage.Load())
 	}
 	return nil
 }
@@ -370,19 +429,28 @@ func (p *File) Close() error {
 
 // Stats returns a snapshot of the I/O counters.
 func (p *File) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		PageReads:    p.stats.pageReads.Load(),
+		PageWrites:   p.stats.pageWrites.Load(),
+		Seeks:        p.stats.seeks.Load(),
+		SeekDistance: p.stats.seekDistance.Load(),
+		Allocs:       p.stats.allocs.Load(),
+		Frees:        p.stats.frees.Load(),
+		LeakedPages:  p.stats.leakedPages.Load(),
+	}
 }
 
 // ResetStats zeroes the read/write/seek counters (allocation counters and
 // leak accounting are preserved) and resets seek tracking, so each measured
 // query starts cold.
 func (p *File) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.PageReads, p.stats.PageWrites, p.stats.Seeks, p.stats.SeekDistance = 0, 0, 0, 0
+	p.seekMu.Lock()
+	p.stats.pageReads.Store(0)
+	p.stats.pageWrites.Store(0)
+	p.stats.seeks.Store(0)
+	p.stats.seekDistance.Store(0)
 	p.lastRead, p.haveLast = 0, false
+	p.seekMu.Unlock()
 }
 
 // Path returns the backing file path.

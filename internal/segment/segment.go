@@ -227,9 +227,18 @@ type PageSource interface {
 	PayloadSize() int
 }
 
+// PageLeaser is an optional PageSource extension offering pinned, zero-copy
+// page access: the returned slice is the source's own cached frame, valid
+// until release is called. *buffer.Pool implements it; readers over a
+// leasing source skip the full-page copy ReadPage pays per access.
+type PageLeaser interface {
+	LeasePage(pager.PageID) (data []byte, release func() error, err error)
+}
+
 // Reader decodes blocks of a rendered segment, counting page I/O through
 // the page source. A one-page lookbehind keeps sequential block reads from
-// double-counting shared boundary pages.
+// double-counting shared boundary pages. Readers are not safe for
+// concurrent use; use Clone to give each goroutine its own.
 type Reader struct {
 	file     PageSource
 	meta     Meta
@@ -258,10 +267,24 @@ func NewReader(file PageSource, meta Meta, spec Spec) (*Reader, error) {
 // Meta returns the segment metadata.
 func (r *Reader) Meta() Meta { return r.meta }
 
+// Clone returns an independent reader over the same segment and page
+// source, for use by another goroutine (parallel scans clone one reader per
+// worker). Metadata and codecs are shared — both are immutable — while the
+// per-reader lookbehind cache is not.
+func (r *Reader) Clone() *Reader {
+	return &Reader{file: r.file, meta: r.meta, spec: r.spec, codecs: r.codecs}
+}
+
 // NumBlocks returns the number of blocks.
 func (r *Reader) NumBlocks() int { return len(r.meta.Blocks) }
 
 // readRange reads [off, off+n) from the segment stream via whole-page reads.
+// Over a PageLeaser source, bytes are copied straight out of the source's
+// pinned frame (no full-page copy per access); only the range's final page
+// — the one the next sequential block may share — is retained in the
+// one-page lookbehind, so sequential block reads never touch a shared
+// boundary page twice no matter how small the source's cache is. Over a
+// plain PageSource, whole pages are read with the same lookbehind.
 func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
 	if off+uint64(n) > r.meta.UsedBytes {
 		return nil, fmt.Errorf("segment: range [%d,%d) beyond used bytes %d", off, off+uint64(n), r.meta.UsedBytes)
@@ -269,20 +292,10 @@ func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
 	payload := uint64(r.file.PayloadSize())
 	first := off / payload
 	last := (off + uint64(n) - 1) / payload
+	leaser, _ := r.file.(PageLeaser)
 	out := make([]byte, 0, n)
 	for p := first; p <= last; p++ {
 		id := r.meta.ExtentStart + pager.PageID(p)
-		var page []byte
-		if id == r.lastPage && r.lastBuf != nil {
-			page = r.lastBuf
-		} else {
-			var err error
-			page, err = r.file.ReadPage(id)
-			if err != nil {
-				return nil, err
-			}
-			r.lastPage, r.lastBuf = id, page
-		}
 		lo := uint64(0)
 		if p == first {
 			lo = off - p*payload
@@ -291,6 +304,31 @@ func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
 		if p == last {
 			hi = off + uint64(n) - p*payload
 		}
+		if id == r.lastPage && r.lastBuf != nil {
+			out = append(out, r.lastBuf[lo:hi]...)
+			continue
+		}
+		if leaser != nil {
+			page, release, err := leaser.LeasePage(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, page[lo:hi]...)
+			if p == last {
+				buf := make([]byte, len(page))
+				copy(buf, page)
+				r.lastPage, r.lastBuf = id, buf
+			}
+			if err := release(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		page, err := r.file.ReadPage(id)
+		if err != nil {
+			return nil, err
+		}
+		r.lastPage, r.lastBuf = id, page
 		out = append(out, page[lo:hi]...)
 	}
 	return out, nil

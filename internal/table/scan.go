@@ -2,7 +2,9 @@ package table
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rodentstore/internal/algebra"
 	"rodentstore/internal/catalog"
@@ -28,6 +30,15 @@ type ScanOptions struct {
 	// applies). Benchmarks use it to reproduce baselines that lack zone
 	// maps, such as the paper's raw heap scans.
 	NoZonePrune bool
+	// Parallel fans block fetch/decode/filter out over a bounded worker
+	// pool. Stored order is preserved (blocks are merged back in order), so
+	// results are identical to a serial scan. The paper-figure experiments
+	// keep Parallel off: the serial path's page/seek accounting is the
+	// measurement substrate and stays byte-identical.
+	Parallel bool
+	// Workers bounds the parallel worker pool (0 = GOMAXPROCS). Ignored
+	// unless Parallel is set.
+	Workers int
 }
 
 // Scan opens a cursor over the table (paper §4.1 scan). Lazy-reorganization
@@ -47,6 +58,9 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 		cur, err = e.scanStored2(tab, opts.Fields, opts.Pred, false, opts.NoZonePrune)
 		if err != nil {
 			return err
+		}
+		if opts.Parallel {
+			cur.startParallel(opts.Workers)
 		}
 		if len(opts.Order) > 0 && !e.orderMatchesStored(tab, opts.Order) {
 			return cur.materializeSort(opts.Order)
@@ -199,7 +213,8 @@ type part struct {
 }
 
 // Cursor iterates rows of a scan (paper §4.1 next). Cursors are not safe
-// for concurrent use.
+// for concurrent use (the parallel scanner parallelizes *inside* one
+// cursor; concurrent queries each open their own).
 type Cursor struct {
 	schema    *value.Schema // output schema (projection applied)
 	decoded   *value.Schema // decoded schema (projection ∪ predicate fields)
@@ -211,6 +226,9 @@ type Cursor struct {
 	buf       []value.Row
 	bufPos    int
 	exhausted bool
+	// par, when non-nil, replaces the serial block loop with the ordered
+	// parallel pipeline.
+	par *parallelScan
 	// sorted, when non-nil, replaces streaming (materialized order-by).
 	sorted    []value.Row
 	sortedPos int
@@ -219,8 +237,17 @@ type Cursor struct {
 // Schema returns the cursor's output schema.
 func (c *Cursor) Schema() *value.Schema { return c.schema }
 
-// Close releases cursor resources.
-func (c *Cursor) Close() { c.exhausted = true; c.buf = nil; c.sorted = nil }
+// Close releases cursor resources. Parallel workers are stopped and joined
+// before Close returns, so no goroutine of this cursor still touches the
+// pool or pager afterwards.
+func (c *Cursor) Close() {
+	if c.par != nil {
+		c.par.shutdown()
+	}
+	c.exhausted = true
+	c.buf = nil
+	c.sorted = nil
+}
 
 // Next returns the next row, reporting ok=false at the end (paper §4.1).
 func (c *Cursor) Next() (value.Row, bool, error) {
@@ -241,6 +268,19 @@ func (c *Cursor) Next() (value.Row, bool, error) {
 			c.bufPos++
 			return r, true, nil
 		}
+		if c.par != nil {
+			rows, ok, err := c.par.next()
+			if err != nil {
+				c.exhausted = true
+				return nil, false, err
+			}
+			if !ok {
+				c.exhausted = true
+				return nil, false, nil
+			}
+			c.buf, c.bufPos = rows, 0
+			continue
+		}
 		if c.cur >= len(c.blocks) {
 			c.exhausted = true
 			return nil, false, nil
@@ -255,17 +295,30 @@ func (c *Cursor) Next() (value.Row, bool, error) {
 // loadBlock decodes one block, filters, and projects into c.buf.
 func (c *Cursor) loadBlock(ref blockRef) error {
 	p := c.parts[ref.part]
+	rows, err := decodeBlockRows(p, p.readers, ref.block, c.decoded, c.pred, c.outIdx)
+	if err != nil {
+		return err
+	}
+	c.buf, c.bufPos = rows, 0
+	return nil
+}
+
+// decodeBlockRows decodes one block of a part through the given readers
+// (which must belong to the calling goroutine), filters with pred, and
+// projects to the output columns. It is the shared core of the serial and
+// parallel block paths.
+func decodeBlockRows(p *part, readers []*segment.Reader, block int, decoded *value.Schema, pred algebra.Predicate, outIdx []int) ([]value.Row, error) {
 	// Decode needed columns from each needed segment.
 	colsBySeg := make([][][]value.Value, len(p.entries))
 	var nrows int
-	for si, r := range p.readers {
+	for si, r := range readers {
 		if r == nil {
 			continue
 		}
-		want := segColumns(p, si, c.decoded)
-		cols, err := r.ReadBlock(ref.block, want)
+		want := segColumns(p, si, decoded)
+		cols, err := r.ReadBlock(block, want)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		colsBySeg[si] = cols
 		for _, w := range want {
@@ -276,22 +329,140 @@ func (c *Cursor) loadBlock(ref blockRef) error {
 	}
 	rows := make([]value.Row, 0, nrows)
 	for i := 0; i < nrows; i++ {
-		row := make(value.Row, c.decoded.Arity())
-		for fi, f := range c.decoded.Fields {
+		row := make(value.Row, decoded.Arity())
+		for fi, f := range decoded.Fields {
 			loc := p.fieldSeg[f.Name]
 			row[fi] = colsBySeg[loc[0]][loc[1]][i]
 		}
-		if !c.pred.IsTrue() && !c.pred.Eval(c.decoded, row) {
+		if !pred.IsTrue() && !pred.Eval(decoded, row) {
 			continue
 		}
-		out := make(value.Row, len(c.outIdx))
-		for oi, di := range c.outIdx {
+		out := make(value.Row, len(outIdx))
+		for oi, di := range outIdx {
 			out[oi] = row[di]
 		}
 		rows = append(rows, out)
 	}
-	c.buf, c.bufPos = rows, 0
-	return nil
+	return rows, nil
+}
+
+// blockResult is one decoded block (or its error) flowing through the
+// parallel pipeline.
+type blockResult struct {
+	rows []value.Row
+	err  error
+}
+
+// parallelScan runs the cursor's block list through a bounded worker pool,
+// delivering results in stored block order: the dispatcher emits one
+// promise channel per block into out (in order), workers fulfill promises
+// as they finish, and the consumer awaits promises in order. The out
+// buffer bounds how far workers run ahead of the consumer.
+type parallelScan struct {
+	out  chan chan blockResult
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup // dispatcher + workers
+}
+
+// cancel stops the dispatcher (and thereby the workers) without draining.
+func (ps *parallelScan) cancel() {
+	ps.stop.Do(func() { close(ps.done) })
+}
+
+// shutdown cancels and then joins every pipeline goroutine, so no worker
+// still holds page leases or issues reads after it returns.
+func (ps *parallelScan) shutdown() {
+	ps.cancel()
+	ps.wg.Wait()
+}
+
+// next returns the next block's rows in stored order.
+func (ps *parallelScan) next() ([]value.Row, bool, error) {
+	ch, ok := <-ps.out
+	if !ok {
+		ps.cancel()
+		return nil, false, nil
+	}
+	res := <-ch
+	if res.err != nil {
+		ps.cancel()
+		return nil, false, res.err
+	}
+	return res.rows, true, nil
+}
+
+// startParallel switches the cursor to the parallel executor: workers
+// fetch, decode and filter independent blocks (grid cells / segment
+// extents) concurrently while an ordered merge preserves stored order.
+// Each worker clones the part readers, so no reader state is shared.
+func (c *Cursor) startParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.blocks) == 0 || c.par != nil {
+		return
+	}
+	if workers > len(c.blocks) {
+		workers = len(c.blocks)
+	}
+	ps := &parallelScan{
+		out:  make(chan chan blockResult, 2*workers),
+		done: make(chan struct{}),
+	}
+	type job struct {
+		ref blockRef
+		ch  chan blockResult
+	}
+	jobs := make(chan job)
+	ps.wg.Add(1 + workers)
+	// The goroutines capture copied fields, never the cursor itself: a
+	// cursor abandoned without Close must become unreachable so the cleanup
+	// below can cancel the pipeline (the dispatcher otherwise blocks
+	// forever once the out buffer fills). Close still joins
+	// deterministically.
+	blocks, parts := c.blocks, c.parts
+	decoded, pred, outIdx := c.decoded, c.pred, c.outIdx
+	go func() {
+		defer ps.wg.Done()
+		defer close(ps.out)
+		defer close(jobs)
+		for _, ref := range blocks {
+			ch := make(chan blockResult, 1)
+			select {
+			case ps.out <- ch:
+			case <-ps.done:
+				return
+			}
+			select {
+			case jobs <- job{ref, ch}:
+			case <-ps.done:
+				return
+			}
+		}
+	}()
+	runtime.AddCleanup(c, func(ps *parallelScan) { ps.cancel() }, ps)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer ps.wg.Done()
+			cloned := make([][]*segment.Reader, len(parts))
+			for j := range jobs {
+				p := parts[j.ref.part]
+				if cloned[j.ref.part] == nil {
+					rs := make([]*segment.Reader, len(p.readers))
+					for si, r := range p.readers {
+						if r != nil {
+							rs[si] = r.Clone()
+						}
+					}
+					cloned[j.ref.part] = rs
+				}
+				rows, err := decodeBlockRows(p, cloned[j.ref.part], j.ref.block, decoded, pred, outIdx)
+				j.ch <- blockResult{rows: rows, err: err}
+			}
+		}()
+	}
+	c.par = ps
 }
 
 // segColumns lists the column indexes of segment si needed for the decoded
