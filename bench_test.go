@@ -155,6 +155,28 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestThroughput is Ext-10: durable concurrent insert rows/sec
+// at 1, 4 and 16 writer goroutines, with group commit and background tail
+// merging each toggled. Speedups are relative to the 1-writer run of the
+// same toggle setting; with group commit on they show fsync amortization
+// (and, on multi-core hosts, the lock-free prepare phase) scaling ingest.
+func BenchmarkIngestThroughput(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.N = 30_000
+	for i := 0; i < b.N; i++ {
+		results, err := bench.IngestThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.RowsPerSec, "rows/sec:"+sanitize(r.Name))
+			if r.Writers > 1 {
+				b.ReportMetric(r.Speedup, "speedup:"+sanitize(r.Name))
+			}
+		}
+	}
+}
+
 // BenchmarkReorg is Ext-8: query cost before/after reorganization.
 func BenchmarkReorg(b *testing.B) {
 	cfg := benchConfig(b)

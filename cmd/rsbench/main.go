@@ -25,11 +25,11 @@ import (
 	"rodentstore/internal/bench"
 )
 
-var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput"}
+var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest"}
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|all")
+		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|all")
 		n        = flag.Int("n", 1_000_000, "number of observations (paper: 10000000)")
 		queries  = flag.Int("queries", 200, "number of window queries (paper: 200)")
 		area     = flag.Float64("area", 0.01, "query area fraction (paper: 0.01)")
@@ -69,6 +69,8 @@ func main() {
 			return bench.Reorg(cfg)
 		case "throughput":
 			return bench.ConcurrentThroughput(cfg)
+		case "ingest":
+			return bench.IngestThroughput(cfg)
 		default:
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
@@ -137,6 +139,8 @@ func title(cfg bench.Config, name string) string {
 		return "Ext-8: reorganization strategies (paper §5)"
 	case "throughput":
 		return "Ext-9: concurrent read throughput (sharded pool, lock-free pager, parallel scan)"
+	case "ingest":
+		return "Ext-10: concurrent ingest throughput (group-commit WAL, staged inserts, background merge)"
 	}
 	return name
 }
@@ -155,6 +159,8 @@ func print(name string, data any) error {
 		return printReorg(data.([]bench.ReorgResult))
 	case "throughput":
 		return printThroughput(data.([]bench.ThroughputResult))
+	case "ingest":
+		return printIngest(data.([]bench.IngestResult))
 	}
 	return fmt.Errorf("no printer for %q", name)
 }
@@ -197,6 +203,23 @@ func printReorg(results []bench.ReorgResult) error {
 	fmt.Fprintln(w, "state\tpages/query\treorg ms")
 	for _, r := range results {
 		fmt.Fprintf(w, "%s\t%.0f\t%.1f\n", r.Name, r.PagesQuery, r.ReorgMs)
+	}
+	return w.Flush()
+}
+
+func printIngest(results []bench.IngestResult) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\twriters\tgroup commit\tmerge\trows\tms\trows/sec\tspeedup\tfinal tails")
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%d\t%.1f\t%.0f\t%.2fx\t%d\n",
+			r.Name, r.Writers, onOff(r.GroupCommit), onOff(r.AutoMerge),
+			r.Rows, r.Ms, r.RowsPerSec, r.Speedup, r.FinalTails)
 	}
 	return w.Flush()
 }

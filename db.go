@@ -258,8 +258,9 @@ func (db *DB) ValidateLayout(name, layout string) error {
 
 // CreateIndex builds a secondary B+tree index over a stored field (paper
 // §1: RodentStore includes B+trees as supporting machinery). Indexes
-// describe one rendering of the data: Insert, Reorganize, AlterLayout and
-// Load drop them — rebuild afterwards.
+// describe one rendering of the main segments: Reorganize, AlterLayout and
+// Load drop them — rebuild afterwards. Tail-only Inserts do not drop them;
+// IndexScan answers over both the indexed prefix and the unindexed tails.
 func (db *DB) CreateIndex(table, field string) error { return db.eng.CreateIndex(table, field) }
 
 // DropIndex removes a secondary index.

@@ -3,14 +3,14 @@
 // by the algebra interpreter on open), rendered segment locations, grid
 // bounds and reorganization state.
 //
-// The catalog serializes to JSON and lives in its own page extent inside the
+// The catalog serializes to a compact binary form (see codec.go; legacy
+// JSON catalogs still load) and lives in its own page extent inside the
 // database file; pager meta slots record the extent. Updates write a fresh
 // extent before flipping the meta slots, so a crash mid-update leaves the
 // previous catalog intact.
 package catalog
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,11 +41,15 @@ type GridBoundsMeta struct {
 	Cells int     `json:"cells"`
 }
 
-// IndexMeta records one secondary B+tree index: the indexed field and the
-// tree's root page.
+// IndexMeta records one secondary B+tree index: the indexed field, the
+// tree's root page, and how many stored rows (a prefix of stored order) the
+// tree covers. Tail-only inserts append rows beyond Rows without shifting
+// positions, so the index survives them; IndexScan treats positions at or
+// past Rows as an unindexed suffix and scans them instead.
 type IndexMeta struct {
 	Field string `json:"field"`
 	Root  uint64 `json:"root"`
+	Rows  int64  `json:"rows,omitempty"`
 }
 
 // SegmentEntry pairs a vertical partition's definition with its rendered
@@ -90,6 +94,8 @@ type Catalog struct {
 	file   *pager.File
 	tables map[string]*Table
 	extent segment.Meta // current catalog extent (reuses segment.Meta fields)
+	encBuf []byte       // reusable flush encode buffer (guarded by mu)
+	dirty  bool         // buffered updates not yet persisted (see PutBuffered)
 }
 
 // Load reads the catalog from the file (empty catalog if none yet).
@@ -114,9 +120,9 @@ func Load(file *pager.File) (*Catalog, error) {
 		}
 		buf = append(buf, page[:need]...)
 	}
-	var tables []*Table
-	if err := json.Unmarshal(buf, &tables); err != nil {
-		return nil, fmt.Errorf("catalog: decode: %w", err)
+	tables, err := decodeTables(buf)
+	if err != nil {
+		return nil, err
 	}
 	for _, t := range tables {
 		c.tables[t.Name] = t
@@ -133,55 +139,26 @@ func (c *Catalog) flush() error {
 		tables = append(tables, t)
 	}
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
-	buf, err := json.Marshal(tables)
-	if err != nil {
-		return fmt.Errorf("catalog: encode: %w", err)
-	}
-	payload := uint64(c.file.PayloadSize())
-	npages := (uint64(len(buf)) + payload - 1) / payload
-	if npages == 0 {
-		npages = 1
-	}
-	start, err := c.file.AllocateRun(npages)
+	buf := encodeTablesInto(c.encBuf, tables)
+	c.encBuf = buf
+	// Write the new extent, flip the meta slots and free the old extent
+	// with a single header write: a crash leaves either the whole previous
+	// catalog or the whole new one.
+	ext, err := c.file.ReplaceMetaExtent(slotExtentStart, slotExtentPages, slotByteLen, buf,
+		pager.Extent{Start: c.extent.ExtentStart, Count: c.extent.ExtentPages})
 	if err != nil {
 		return err
 	}
-	for p := uint64(0); p < npages; p++ {
-		lo := p * payload
-		hi := lo + payload
-		if hi > uint64(len(buf)) {
-			hi = uint64(len(buf))
-		}
-		var chunk []byte
-		if lo < uint64(len(buf)) {
-			chunk = buf[lo:hi]
-		}
-		if err := c.file.WritePage(start+pager.PageID(p), chunk); err != nil {
-			return err
-		}
-	}
-	// Flip the pointers (single header write per slot; last write wins on
-	// crash — the extent itself is already durable).
-	if err := c.file.MetaSet(slotExtentStart, uint64(start)); err != nil {
-		return err
-	}
-	if err := c.file.MetaSet(slotExtentPages, npages); err != nil {
-		return err
-	}
-	if err := c.file.MetaSet(slotByteLen, uint64(len(buf))); err != nil {
-		return err
-	}
-	// Free the previous extent.
-	if c.extent.ExtentPages > 0 {
-		if err := c.file.FreeRun(c.extent.ExtentStart, c.extent.ExtentPages); err != nil {
-			return err
-		}
-	}
-	c.extent = segment.Meta{ExtentStart: start, ExtentPages: npages, UsedBytes: uint64(len(buf))}
+	c.extent = segment.Meta{ExtentStart: ext.Start, ExtentPages: ext.Count, UsedBytes: uint64(len(buf))}
+	c.dirty = false // a full flush persists buffered updates too
 	return nil
 }
 
-// Get returns the table record, or an error if absent.
+// Get returns the table record, or an error if absent. Records are
+// treated as immutable once published: a flush (checkpoint) may encode any
+// record concurrently with engine work, so mutators copy the record,
+// update the copy, and swap it in with Put or PutBuffered rather than
+// writing through this pointer.
 func (c *Catalog) Get(name string) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -217,6 +194,32 @@ func (c *Catalog) Put(t *Table) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[t.Name] = t
+	return c.flush()
+}
+
+// PutBuffered inserts or replaces a table record in memory only; the change
+// is persisted by the next Flush (or by any full flush from Put/Delete).
+// Durable tail inserts use it: each insert's catalog rewrite is O(catalog
+// size), the single largest serialized cost on the ingest path, while the
+// tail delta itself is already redo-logged in the WAL (see EncodeTailAppend)
+// — so persistence can wait for the checkpoint that makes the pages durable
+// anyway.
+func (c *Catalog) PutBuffered(t *Table) {
+	c.mu.Lock()
+	c.tables[t.Name] = t
+	c.dirty = true
+	c.mu.Unlock()
+}
+
+// Flush persists buffered updates; it is a no-op when the catalog is clean.
+// The transaction manager calls it before every checkpoint, so the on-disk
+// catalog is current whenever the WAL is truncated.
+func (c *Catalog) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
 	return c.flush()
 }
 

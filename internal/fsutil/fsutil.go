@@ -1,0 +1,22 @@
+// Package fsutil holds small filesystem helpers shared by the pager and the
+// write-ahead log.
+package fsutil
+
+import "os"
+
+// Preallocate makes the file at least size bytes long with its blocks
+// actually allocated where the platform supports it (fallocate on Linux),
+// falling back to extending via truncate. Writing into preallocated space
+// does not allocate filesystem blocks, so an fsync after such a write
+// commits data without a metadata journal transaction — the difference
+// between a ~50µs and a ~400µs fsync on ext4, and the reason the WAL
+// preallocates its append space.
+func Preallocate(f *os.File, size int64) error {
+	if st, err := f.Stat(); err == nil && st.Size() >= size {
+		return nil
+	}
+	if err := preallocate(f, size); err == nil {
+		return nil
+	}
+	return f.Truncate(size)
+}

@@ -1,0 +1,14 @@
+//go:build linux
+
+package fsutil
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocate allocates blocks and extends the file size in one call
+// (fallocate mode 0, the posix_fallocate semantics).
+func preallocate(f *os.File, size int64) error {
+	return syscall.Fallocate(int(f.Fd()), 0, 0, size)
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package fsutil
+
+import (
+	"errors"
+	"os"
+)
+
+// preallocate is unsupported off Linux; Preallocate falls back to truncate.
+func preallocate(f *os.File, size int64) error {
+	return errors.ErrUnsupported
+}

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"rodentstore/internal/fsutil"
 )
 
 // PageID identifies a page in the file. Page 0 is the header; callers never
@@ -45,8 +47,16 @@ const (
 	// DefaultPageSize matches the case study's 1 KB pages (paper §6; see
 	// DESIGN.md for why "1000 KB" is read as 1 KB).
 	DefaultPageSize = 1024
-	// MinPageSize bounds how small pages may be (header + some payload).
-	MinPageSize = 128
+	// MinPageSize bounds how small new files' pages may be. The header
+	// page's fixed fields (magic, page size, next-page cursor, 16 meta
+	// slots, free-list count, leak counter) take 160 bytes, so 256 is the
+	// smallest power of two that holds them plus a few free extents (see
+	// freeListCap).
+	MinPageSize = 256
+	// legacyMinPageSize is the floor Open still accepts: files created
+	// when MinPageSize was 128 may carry page sizes in [160, 256) (sizes
+	// below 160 could never persist a header and so cannot exist on disk).
+	legacyMinPageSize = 128
 	// MaxPageSize bounds how large pages may be.
 	MaxPageSize = 1 << 20
 
@@ -57,6 +67,8 @@ const (
 	metaSlots = 16
 	// maxFreeExtents caps the persisted free list; further frees leak space
 	// (counted in Stats.LeakedPages) rather than complicating the format.
+	// The effective cap is the smaller of this and what fits in the header
+	// page (freeListCap) — small pages hold fewer extents.
 	maxFreeExtents = 128
 	// pageStripes is the number of page-level RW locks. Distinct pages in
 	// different stripes never contend; same-page read/write pairs are
@@ -115,6 +127,12 @@ type File struct {
 	// Written under mu; read lock-free by checkID.
 	nextPage atomic.Uint64
 
+	// filePages is the file's size in pages (>= nextPage). The file grows
+	// in batches so extending allocations do not pay one ftruncate (an ext4
+	// journal transaction) each; pages in [nextPage, filePages) are
+	// unallocated slack. Guarded by mu.
+	filePages uint64
+
 	// pageLocks stripes page-level access so a reader never observes a torn
 	// concurrent write of the same page. Readers share the stripe.
 	pageLocks [pageStripes]sync.RWMutex
@@ -138,7 +156,7 @@ func Create(path string, pageSize int) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pager: create %s: %w", path, err)
 	}
-	p := &File{f: f, path: path, pageSize: pageSize}
+	p := &File{f: f, path: path, pageSize: pageSize, filePages: 1}
 	p.nextPage.Store(1)
 	p.mu.Lock()
 	err = p.writeHeader()
@@ -159,7 +177,7 @@ func Open(path string) (*File, error) {
 	// Read a maximal header prefix; the true page size is in the header.
 	buf := make([]byte, MaxPageSize)
 	n, err := f.ReadAt(buf, 0)
-	if n < MinPageSize && err != nil {
+	if n < legacyMinPageSize && err != nil {
 		f.Close()
 		return nil, fmt.Errorf("pager: read header of %s: %w", path, err)
 	}
@@ -172,7 +190,35 @@ func Open(path string) (*File, error) {
 		f.Close()
 		return nil, err
 	}
+	if st, err := f.Stat(); err == nil {
+		p.filePages = uint64(st.Size()) / uint64(p.pageSize)
+	}
+	if p.filePages < p.nextPage.Load() {
+		// A crash can leave the header cursor ahead of the file; restore
+		// the invariant that the file covers every allocated page.
+		if err := f.Truncate(int64(p.nextPage.Load()) * int64(p.pageSize)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: restore size: %w", err)
+		}
+		p.filePages = p.nextPage.Load()
+	}
 	return p, nil
+}
+
+// freeListCap is how many free extents the header page can persist: the
+// page must hold the fixed fields (magic, page size, next-page cursor,
+// meta slots, extent count, trailing leak counter) plus 16 bytes per
+// extent. freeLocked keeps len(p.free) within this, so writeHeader never
+// overruns the page.
+func (p *File) freeListCap() int {
+	c := (p.pageSize - (len(magic) + 4 + 8 + metaSlots*8 + 4 + 8)) / 16
+	if c > maxFreeExtents {
+		c = maxFreeExtents
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
 }
 
 // header layout (after the 8-byte magic): pageSize u32, nextPage u64,
@@ -209,7 +255,7 @@ func (p *File) parseHeader(buf []byte) error {
 	off := 8
 	p.pageSize = int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
-	if p.pageSize < MinPageSize || p.pageSize > MaxPageSize {
+	if p.pageSize < legacyMinPageSize || p.pageSize > MaxPageSize {
 		return fmt.Errorf("pager: corrupt header: page size %d", p.pageSize)
 	}
 	p.nextPage.Store(binary.LittleEndian.Uint64(buf[off:]))
@@ -220,7 +266,7 @@ func (p *File) parseHeader(buf []byte) error {
 	}
 	nfree := binary.LittleEndian.Uint32(buf[off:])
 	off += 4
-	if nfree > maxFreeExtents {
+	if int(nfree) > p.freeListCap() {
 		return fmt.Errorf("pager: corrupt header: %d free extents", nfree)
 	}
 	p.free = make([]Extent, nfree)
@@ -267,14 +313,41 @@ func (p *File) MetaSet(slot int, v uint64) error {
 	return p.writeHeader()
 }
 
-// AllocateRun allocates n contiguous pages, reusing a free extent when one
-// fits (first fit) and extending the file otherwise.
-func (p *File) AllocateRun(n uint64) (PageID, error) {
-	if n == 0 {
-		return InvalidPage, fmt.Errorf("pager: zero-length allocation")
+// growTo extends the file to cover at least next pages, growing in batches
+// (at least 64 pages, at most 16384, doubling with the file) so sequential
+// extending allocations pay one ftruncate per batch, not one each. Caller
+// holds p.mu.
+func (p *File) growTo(next uint64) error {
+	if next <= p.filePages {
+		return nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	step := p.filePages
+	if step < 64 {
+		step = 64
+	}
+	if step > 16384 {
+		step = 16384
+	}
+	target := p.filePages + step
+	if target < next {
+		target = next
+	}
+	// Extend the file so reads of unwritten pages fail loudly via checksum
+	// rather than short reads. The new cursor publishes only after the file
+	// covers it. Preallocation (vs a sparse truncate) means later page
+	// writes do not allocate filesystem blocks, keeping them out of the
+	// journal's way when the WAL fsyncs concurrently.
+	if err := fsutil.Preallocate(p.f, int64(target)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("pager: extend: %w", err)
+	}
+	p.filePages = target
+	return nil
+}
+
+// allocateLocked carves n contiguous pages from a free extent (first fit)
+// or the end of the file, without persisting the header. Caller holds p.mu
+// and must writeHeader before releasing durability-relevant state.
+func (p *File) allocateLocked(n uint64) (PageID, error) {
 	p.stats.allocs.Add(1)
 	for i, e := range p.free {
 		if e.Count >= n {
@@ -284,32 +357,85 @@ func (p *File) AllocateRun(n uint64) (PageID, error) {
 			if p.free[i].Count == 0 {
 				p.free = append(p.free[:i], p.free[i+1:]...)
 			}
-			return start, p.writeHeader()
+			return start, nil
 		}
 	}
 	start := PageID(p.nextPage.Load())
 	next := uint64(start) + n
-	// Extend the file so reads of unwritten pages fail loudly via checksum
-	// rather than short reads. The new cursor publishes only after the file
-	// covers it.
-	if err := p.f.Truncate(int64(next) * int64(p.pageSize)); err != nil {
-		return InvalidPage, fmt.Errorf("pager: extend: %w", err)
+	if err := p.growTo(next); err != nil {
+		return InvalidPage, err
 	}
 	p.nextPage.Store(next)
+	return start, nil
+}
+
+// RecoverPage writes a page image during WAL recovery. The header — with
+// the allocation cursor and free list — only reaches disk at checkpoints,
+// so after a crash it can lag the fsync'd WAL: a replayed page may sit
+// past the cursor, or inside an extent the stale header still lists as
+// free. RecoverPage heals both (advancing the cursor over id and carving
+// id out of the free list) so a replayed page is neither rejected as out
+// of range nor handed out again by a later allocation. Recovery persists
+// the healed header with Sync once replay finishes.
+func (p *File) RecoverPage(id PageID, payload []byte) error {
+	if id == InvalidPage {
+		return fmt.Errorf("pager: recover invalid page")
+	}
+	p.mu.Lock()
+	if uint64(id) >= p.nextPage.Load() {
+		if err := p.growTo(uint64(id) + 1); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		p.nextPage.Store(uint64(id) + 1)
+	}
+	p.carveLocked(id)
+	p.mu.Unlock()
+	return p.WritePage(id, payload)
+}
+
+// carveLocked removes page id from whichever free extent covers it, if
+// any, splitting the extent around it. Caller holds p.mu.
+func (p *File) carveLocked(id PageID) {
+	for i, e := range p.free {
+		if id < e.Start || id >= e.Start+PageID(e.Count) {
+			continue
+		}
+		out := make([]Extent, 0, len(p.free)+1)
+		out = append(out, p.free[:i]...)
+		if n := uint64(id - e.Start); n > 0 {
+			out = append(out, Extent{e.Start, n})
+		}
+		if n := uint64(e.Start+PageID(e.Count)-id) - 1; n > 0 {
+			out = append(out, Extent{id + 1, n})
+		}
+		out = append(out, p.free[i+1:]...)
+		p.free = out
+		return
+	}
+}
+
+// AllocateRun allocates n contiguous pages, reusing a free extent when one
+// fits (first fit) and extending the file otherwise.
+func (p *File) AllocateRun(n uint64) (PageID, error) {
+	if n == 0 {
+		return InvalidPage, fmt.Errorf("pager: zero-length allocation")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start, err := p.allocateLocked(n)
+	if err != nil {
+		return InvalidPage, err
+	}
 	return start, p.writeHeader()
 }
 
 // Allocate allocates a single page.
 func (p *File) Allocate() (PageID, error) { return p.AllocateRun(1) }
 
-// FreeRun returns an extent to the free list, coalescing with neighbours.
-// When the free list is full the pages leak (tracked in stats).
-func (p *File) FreeRun(start PageID, n uint64) error {
-	if start == InvalidPage || n == 0 {
-		return fmt.Errorf("pager: bad free of %d pages at %d", n, start)
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// freeLocked returns an extent to the free list, coalescing with
+// neighbours; the header is not persisted. Caller holds p.mu.
+func (p *File) freeLocked(start PageID, n uint64) {
 	p.stats.frees.Add(1)
 	p.free = append(p.free, Extent{start, n})
 	sort.Slice(p.free, func(i, j int) bool { return p.free[i].Start < p.free[j].Start })
@@ -322,12 +448,23 @@ func (p *File) FreeRun(start PageID, n uint64) error {
 		}
 	}
 	p.free = merged
-	if len(p.free) > maxFreeExtents {
-		for _, e := range p.free[maxFreeExtents:] {
+	if limit := p.freeListCap(); len(p.free) > limit {
+		for _, e := range p.free[limit:] {
 			p.stats.leakedPages.Add(e.Count)
 		}
-		p.free = p.free[:maxFreeExtents]
+		p.free = p.free[:limit]
 	}
+}
+
+// FreeRun returns an extent to the free list, coalescing with neighbours.
+// When the free list is full the pages leak (tracked in stats).
+func (p *File) FreeRun(start PageID, n uint64) error {
+	if start == InvalidPage || n == 0 {
+		return fmt.Errorf("pager: bad free of %d pages at %d", n, start)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.freeLocked(start, n)
 	return p.writeHeader()
 }
 
@@ -396,6 +533,134 @@ func (p *File) WritePage(id PageID, payload []byte) error {
 	}
 	p.stats.pageWrites.Add(1)
 	return nil
+}
+
+// WriteRun writes payload across the extent starting at start — one page
+// per PayloadSize chunk, the last page zero-padded — in a single positional
+// write. Functionally equivalent to a WritePage loop but pays one syscall
+// for the whole extent, which is what makes bulk publishes (segment
+// renders, catalog flips) cheap. Page-write statistics count one write per
+// page, as the loop would.
+func (p *File) WriteRun(start PageID, payload []byte) error {
+	if p.readOnly {
+		return fmt.Errorf("pager: file is read-only")
+	}
+	payloadSize := p.pageSize - pageHeaderSize
+	npages := uint64(len(payload)+payloadSize-1) / uint64(payloadSize)
+	if npages == 0 {
+		npages = 1
+	}
+	if err := p.checkID(start); err != nil {
+		return err
+	}
+	if err := p.checkID(start + PageID(npages-1)); err != nil {
+		return err
+	}
+	need := int(npages) * p.pageSize
+	buf, _ := runBufPool.Get().([]byte)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	for i := uint64(0); i < npages; i++ {
+		page := buf[i*uint64(p.pageSize) : (i+1)*uint64(p.pageSize)]
+		lo := int(i) * payloadSize
+		hi := lo + payloadSize
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		n := 0
+		if lo < len(payload) {
+			n = copy(page[pageHeaderSize:], payload[lo:hi])
+		}
+		clear(page[pageHeaderSize+n:]) // pooled buffer may hold old bytes
+		binary.LittleEndian.PutUint32(page, crc32.ChecksumIEEE(page[pageHeaderSize:]))
+	}
+	// Take every stripe the run touches, in order, so no reader of any page
+	// in the run observes a torn write.
+	stripes := p.lockRunStripes(start, npages)
+	_, err := p.f.WriteAt(buf, int64(start)*int64(p.pageSize))
+	for i := len(stripes) - 1; i >= 0; i-- {
+		stripes[i].Unlock()
+	}
+	runBufPool.Put(buf) //nolint:staticcheck // slice reuse is the point
+	if err != nil {
+		return fmt.Errorf("pager: write run [%d,%d): %w", start, uint64(start)+npages, err)
+	}
+	p.stats.pageWrites.Add(npages)
+	return nil
+}
+
+// runBufPool recycles WriteRun's staging buffers (extent image with page
+// headers); bulk publishes would otherwise allocate tens of KB per call.
+var runBufPool sync.Pool
+
+// lockRunStripes write-locks the distinct page-lock stripes covering the
+// run, in index order (deadlock-free against concurrent run writers).
+func (p *File) lockRunStripes(start PageID, npages uint64) []*sync.RWMutex {
+	n := npages
+	if n > pageStripes {
+		n = pageStripes
+	}
+	var hit [pageStripes]bool
+	for i := uint64(0); i < npages && i < pageStripes; i++ {
+		hit[(uint64(start)+i)%pageStripes] = true
+	}
+	if npages >= pageStripes {
+		for i := range hit {
+			hit[i] = true
+		}
+	}
+	out := make([]*sync.RWMutex, 0, n)
+	for i := range hit {
+		if hit[i] {
+			out = append(out, &p.pageLocks[i])
+		}
+	}
+	for _, lk := range out {
+		lk.Lock()
+	}
+	return out
+}
+
+// ReplaceMetaExtent is the crash-safe "write new extent, flip pointers,
+// free old" pattern: it allocates a fresh extent for payload, writes it
+// (one positional write), points the three meta slots at it (start page,
+// page count, byte length), frees the old extent, and persists the header
+// once. A crash before the header write leaves the previous state fully
+// intact; after it, the new state. Compared to composing AllocateRun +
+// WritePage* + MetaSet*3 + FreeRun, this pays one header write instead of
+// five — it is the catalog's flush primitive.
+func (p *File) ReplaceMetaExtent(slotStart, slotPages, slotLen int, payload []byte, old Extent) (Extent, error) {
+	if p.readOnly {
+		return Extent{}, fmt.Errorf("pager: file is read-only")
+	}
+	payloadSize := uint64(p.pageSize - pageHeaderSize)
+	npages := (uint64(len(payload)) + payloadSize - 1) / payloadSize
+	if npages == 0 {
+		npages = 1
+	}
+	p.mu.Lock()
+	start, err := p.allocateLocked(npages)
+	p.mu.Unlock()
+	if err != nil {
+		return Extent{}, err
+	}
+	if err := p.WriteRun(start, payload); err != nil {
+		return Extent{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.meta[slotStart] = uint64(start)
+	p.meta[slotPages] = npages
+	p.meta[slotLen] = uint64(len(payload))
+	if old.Start != InvalidPage && old.Count > 0 {
+		p.freeLocked(old.Start, old.Count)
+	}
+	if err := p.writeHeader(); err != nil {
+		return Extent{}, err
+	}
+	return Extent{Start: start, Count: npages}, nil
 }
 
 func (p *File) checkID(id PageID) error {

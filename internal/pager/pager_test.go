@@ -294,6 +294,83 @@ func TestConcurrentReadWrite(t *testing.T) {
 	}
 }
 
+func TestFreeListBoundedByHeaderPage(t *testing.T) {
+	// A fragmented free pattern (free every other extent, so nothing
+	// coalesces) must never grow the persisted free list past what the
+	// header page can hold: overflow leaks (tracked in stats) instead of
+	// corrupting the header. Regression test — ingest workloads that merge
+	// many tail batches free hundreds of non-adjacent extents.
+	p := newFile(t, MinPageSize)
+	const extents = 200
+	starts := make([]PageID, extents)
+	for i := range starts {
+		id, err := p.AllocateRun(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts[i] = id
+	}
+	for i := 0; i < extents; i += 2 {
+		if err := p.FreeRun(starts[i], 2); err != nil {
+			t.Fatalf("free %d: %v", i, err)
+		}
+	}
+	if got, limit := len(p.free), p.freeListCap(); got > limit {
+		t.Errorf("free list %d entries exceeds header capacity %d", got, limit)
+	}
+	if p.Stats().LeakedPages == 0 {
+		t.Error("overflowing frees should leak (tracked), not vanish")
+	}
+	// The header must survive a sync + reopen round trip.
+	path := p.path
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got, limit := len(p2.free), p2.freeListCap(); got > limit || got == 0 {
+		t.Errorf("reopened free list = %d entries, want in [1, %d]", got, limit)
+	}
+}
+
+func TestRecoverPageCarvesFreeList(t *testing.T) {
+	// WAL replay can reference pages a stale header still lists as free
+	// (the free was never checkpointed, or the allocation that reused the
+	// extent was lost). RecoverPage must carve the page out of the free
+	// list so later allocations cannot clobber the replayed content.
+	p := newFile(t, 1024)
+	id, err := p.AllocateRun(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FreeRun(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	target := id + 1
+	if err := p.RecoverPage(target, []byte("replayed")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		a, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == target {
+			t.Fatalf("allocation %d handed out the recovered page", i)
+		}
+	}
+	got, err := p.ReadPage(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:8]) != "replayed" {
+		t.Error("recovered page content lost")
+	}
+}
+
 func BenchmarkWritePage(b *testing.B) {
 	dir := b.TempDir()
 	p, _ := Create(filepath.Join(dir, "bench.rdnt"), 1024)

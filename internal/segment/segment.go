@@ -185,9 +185,34 @@ func zones(fields []value.Field, cols [][]value.Value) []ZoneMap {
 	return out
 }
 
-// Finish allocates a contiguous extent, writes the stream, and returns the
-// segment metadata. The writer must not be reused afterwards.
+// Rows returns the number of rows written so far.
+func (w *Writer) Rows() int64 { return w.rows }
+
+// Buf returns the writer's encoded stream — the bytes FinishChunks hands
+// out as per-page chunks — for callers that write the extent themselves.
+func (w *Writer) Buf() []byte { return w.buf }
+
+// Finish allocates a contiguous extent, writes the stream (one positional
+// write for the whole extent), and returns the segment metadata. The writer
+// must not be reused afterwards.
 func (w *Writer) Finish() (Meta, error) {
+	meta, _, err := w.FinishChunks()
+	if err != nil {
+		return Meta{}, err
+	}
+	if err := w.file.WriteRun(meta.ExtentStart, w.buf); err != nil {
+		return Meta{}, err
+	}
+	return meta, nil
+}
+
+// FinishChunks allocates the extent and returns the metadata plus the
+// per-page payload chunks (aliasing the writer's buffer) WITHOUT writing
+// them. Callers that need both the write and the page images — durable
+// staged inserts write the extent with WriteRun and log the chunks as WAL
+// records — use this to avoid a second pass over the stream. The writer
+// must not be reused afterwards.
+func (w *Writer) FinishChunks() (Meta, [][]byte, error) {
 	payload := uint64(w.file.PayloadSize())
 	npages := (uint64(len(w.buf)) + payload - 1) / payload
 	if npages == 0 {
@@ -195,20 +220,17 @@ func (w *Writer) Finish() (Meta, error) {
 	}
 	start, err := w.file.AllocateRun(npages)
 	if err != nil {
-		return Meta{}, err
+		return Meta{}, nil, err
 	}
+	chunks := make([][]byte, npages)
 	for i := uint64(0); i < npages; i++ {
 		lo := i * payload
 		hi := lo + payload
 		if hi > uint64(len(w.buf)) {
 			hi = uint64(len(w.buf))
 		}
-		var chunk []byte
 		if lo < uint64(len(w.buf)) {
-			chunk = w.buf[lo:hi]
-		}
-		if err := w.file.WritePage(start+pager.PageID(i), chunk); err != nil {
-			return Meta{}, err
+			chunks[i] = w.buf[lo:hi]
 		}
 	}
 	return Meta{
@@ -217,7 +239,7 @@ func (w *Writer) Finish() (Meta, error) {
 		UsedBytes:   uint64(len(w.buf)),
 		Rows:        w.rows,
 		Blocks:      w.blocks,
-	}, nil
+	}, chunks, nil
 }
 
 // PageSource supplies page payloads to a Reader. *pager.File implements it

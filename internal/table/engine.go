@@ -58,21 +58,50 @@ type Engine struct {
 	Source segment.PageSource
 	// Fold selects the fold rendering strategy.
 	Fold FoldStrategy
+	// SyncInserts makes Insert durable: the tail's rendered pages are
+	// WAL-logged as images together with a catalog tail-append delta, and
+	// Insert returns only after the (group-committed) fsync. The catalog is
+	// updated in memory only; recovery replays the images and rebuilds the
+	// catalog from the deltas, so an acknowledged insert survives a crash
+	// without the publish phase ever rewriting the whole catalog. Requires
+	// a lock manager; ignored without one.
+	SyncInserts bool
 
 	mu    sync.Mutex
 	specs map[string]*layout.Spec // compile cache keyed by expr text
+
+	// snapMu guards insertSnaps, the per-table cache of the layout/schema
+	// snapshot Insert's prepare phase runs against. A hit skips the
+	// shared-lock round and schema rebuild per insert; staleness is caught
+	// by publish-time revalidation (the entry is dropped and the insert
+	// retried).
+	snapMu      sync.Mutex
+	insertSnaps map[string]insertSnapshot
+
+	// merge is the background tail-merge worker (nil until EnableAutoMerge).
+	mergeMu sync.Mutex
+	merge   *merger
 }
 
 // NewEngine creates an engine over an open page file and catalog. lockMgr
-// may be nil to disable table-level locking (single-threaded use).
+// may be nil to disable table-level locking (single-threaded use). With a
+// lock manager, the engine hooks the catalog into its checkpoint/recovery
+// protocol: buffered catalog updates flush before every checkpoint, and
+// WAL catalog deltas (durable tail appends) replay during recovery — so
+// create the engine before calling the manager's Recover.
 func NewEngine(file *pager.File, cat *catalog.Catalog, lockMgr *txn.Manager) *Engine {
+	if lockMgr != nil {
+		lockMgr.BeforeCheckpoint = cat.Flush
+		lockMgr.OnRecoverCatalog = cat.ApplyTailAppend
+	}
 	return &Engine{
-		file:   file,
-		cat:    cat,
-		locks:  lockMgr,
-		Source: file,
-		Fold:   FoldHash,
-		specs:  make(map[string]*layout.Spec),
+		file:        file,
+		cat:         cat,
+		locks:       lockMgr,
+		Source:      file,
+		Fold:        FoldHash,
+		specs:       make(map[string]*layout.Spec),
+		insertSnaps: make(map[string]insertSnapshot),
 	}
 }
 
@@ -122,6 +151,19 @@ func (e *Engine) invalidateSpecCache() {
 	e.mu.Lock()
 	e.specs = make(map[string]*layout.Spec)
 	e.mu.Unlock()
+	e.dropInsertSnap("")
+}
+
+// dropInsertSnap forgets the cached insert snapshot of one table ("" for
+// all).
+func (e *Engine) dropInsertSnap(name string) {
+	e.snapMu.Lock()
+	if name == "" {
+		e.insertSnaps = make(map[string]insertSnapshot)
+	} else {
+		delete(e.insertSnaps, name)
+	}
+	e.snapMu.Unlock()
 }
 
 // Create registers a table with its logical schema and layout expression.
@@ -165,12 +207,31 @@ func (e *Engine) Drop(name string) error {
 		if err != nil {
 			return err
 		}
+		if err := e.checkpointBeforeFree(); err != nil {
+			return err
+		}
 		if err := freeAll(e.file, tab); err != nil {
 			return err
 		}
 		e.invalidateSpecCache()
 		return e.cat.Delete(name)
 	})
+}
+
+// checkpointBeforeFree forces a WAL checkpoint before extents are freed
+// when durable inserts are on: freed extents can be reallocated and
+// rewritten outside the log, and a stale tail image left in the log would
+// be replayed over the new content after a crash. A checkpoint makes the
+// applied pages durable and empties the log, closing the window.
+func (e *Engine) checkpointBeforeFree() error {
+	if !e.SyncInserts || e.locks == nil {
+		return nil
+	}
+	// CheckpointBarrier, not Checkpoint: an insert that published before we
+	// took this table's lock may not have logged its images yet; the
+	// barrier makes its LogAppliedSince fall back to a checkpoint instead
+	// of logging images of extents we are about to free.
+	return e.locks.CheckpointBarrier()
 }
 
 func freeAll(file *pager.File, tab *catalog.Table) error {
@@ -209,18 +270,140 @@ func (e *Engine) Load(name string, rows []value.Row) error {
 				return fmt.Errorf("table: row %d: %w", i, err)
 			}
 		}
-		return e.render(tab, schema, rows)
+		// Render into a private copy; Put swaps it in atomically so a
+		// concurrent checkpoint flush never encodes a half-rendered table.
+		work := *tab
+		return e.render(&work, schema, rows)
 	})
 }
 
+// insertRetries bounds optimistic staged-insert attempts before falling
+// back to preparing under the exclusive lock (only a concurrent AlterLayout
+// racing every attempt can exhaust them).
+const insertRetries = 4
+
 // Insert appends rows as an unorganized tail batch. The main layout is not
 // touched (the "reorganize only new data" strategy of §5); call Reorganize
-// to merge.
+// to merge, or EnableAutoMerge to have tails folded in the background.
+//
+// Insert is staged: validation, the per-row pipeline steps and the segment
+// block encoding all run with no table lock held (concurrent inserters to
+// the same table overlap this work); only the publish phase — extent
+// allocation, page writes, tail append and catalog put — runs under a short
+// exclusive lock. If the table's layout changes between the two phases the
+// stage is thrown away and re-prepared.
+//
+// With SyncInserts, durability also stays off the lock: the published tail
+// pages and the catalog tail-append delta are logged to the WAL and fsync'd
+// (group commit) after the lock is released, so concurrent inserters'
+// fsyncs coalesce. Insert then returns only once the batch is redo-durable.
+// Because deltas are logged after the lock drops, two batches published in
+// one order can commit in the other; recovery then rebuilds the tails in
+// commit order — a permutation of unorganized batches, never a loss.
 func (e *Engine) Insert(name string, rows []value.Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	return e.withLock(name, txn.Exclusive, func() error {
+	for attempt := 0; ; attempt++ {
+		exclusive := attempt >= insertRetries // guaranteed-progress fallback
+		pub, err := e.insertOnce(name, rows, exclusive)
+		if err != nil {
+			return err
+		}
+		if pub.ok {
+			if len(pub.images) > 0 || len(pub.delta) > 0 {
+				if err := e.locks.LogAppliedSince(pub.barrier, pub.images, pub.delta); err != nil {
+					return err
+				}
+			}
+			e.maybeAutoMerge(name, pub.mergeNeeded)
+			return nil
+		}
+		e.dropInsertSnap(name) // layout moved; re-snapshot on retry
+	}
+}
+
+// insertSnapshot is the catalog state a staged insert was prepared against.
+type insertSnapshot struct {
+	layoutExpr string
+	schema     *value.Schema
+}
+
+// stagedTail is a fully encoded tail batch, ready to publish.
+type stagedTail struct {
+	writers []*segment.Writer
+	defs    []layout.SegmentDef
+	rows    int64
+}
+
+// published is the outcome of one publish phase: whether it installed the
+// tail (ok=false means the layout moved and the caller must re-prepare),
+// whether the merge policy fired, and — in SyncInserts mode — the page
+// images, catalog delta and free-barrier value for LogAppliedSince.
+type published struct {
+	ok          bool
+	mergeNeeded bool
+	images      []txn.PageImage
+	delta       []byte
+	barrier     uint64
+}
+
+// insertOnce runs one prepare/publish round. With exclusivePrepare the
+// whole round holds the exclusive table lock (the snapshot cannot go stale);
+// otherwise prepare runs lock-free and publish revalidates the layout,
+// returning ok=false when it moved. In SyncInserts mode the published page
+// images and the catalog tail-append delta come back to the caller, to be
+// logged after the lock is released.
+func (e *Engine) insertOnce(name string, rows []value.Row, exclusivePrepare bool) (pub published, err error) {
+	if exclusivePrepare {
+		err = e.withLock(name, txn.Exclusive, func() error {
+			tab, err := e.cat.Get(name)
+			if err != nil {
+				return err
+			}
+			schema, err := tab.Schema()
+			if err != nil {
+				return err
+			}
+			snap := insertSnapshot{layoutExpr: tab.LayoutExpr, schema: schema}
+			st, err := e.prepareTail(snap, rows)
+			if err != nil {
+				return err
+			}
+			pub, err = e.publishTail(name, snap.layoutExpr, st, false)
+			return err
+		})
+		return pub, err
+	}
+
+	snap, err := e.snapshotForInsert(name)
+	if err != nil {
+		return published{}, err
+	}
+	st, err := e.prepareTail(snap, rows)
+	if err != nil {
+		return published{}, err
+	}
+	err = e.withLock(name, txn.Exclusive, func() error {
+		pub, err = e.publishTail(name, snap.layoutExpr, st, true)
+		return err
+	})
+	return pub, err
+}
+
+// snapshotForInsert returns the table's layout and schema for the prepare
+// phase: from the per-table cache when possible, else read under a brief
+// shared lock (concurrent inserters snapshot in parallel). A stale cached
+// snapshot is harmless — publish revalidates the layout and the insert
+// retries after dropping the entry.
+func (e *Engine) snapshotForInsert(name string) (insertSnapshot, error) {
+	e.snapMu.Lock()
+	snap, hit := e.insertSnaps[name]
+	e.snapMu.Unlock()
+	if hit {
+		return snap, nil
+	}
+	err := e.withLock(name, txn.Shared, func() error {
 		tab, err := e.cat.Get(name)
 		if err != nil {
 			return err
@@ -229,35 +412,125 @@ func (e *Engine) Insert(name string, rows []value.Row) error {
 		if err != nil {
 			return err
 		}
-		for i, r := range rows {
-			if err := schema.Validate(r); err != nil {
-				return fmt.Errorf("table: row %d: %w", i, err)
-			}
-		}
-		spec, err := e.compile(tab.LayoutExpr)
-		if err != nil {
-			return err
-		}
-		// Tails hold final-schema rows: apply the per-row pipeline steps
-		// (project, select) but no reordering/grid — tails are unorganized.
-		rel := transforms.Relation{Schema: schema, Rows: rows}
-		rel, err = e.applySteps(rel, spec, true)
-		if err != nil {
-			return err
-		}
-		var batch []catalog.SegmentEntry
-		for _, def := range spec.Segments {
-			entry, err := e.writeSegment(rel, def, spec.RowsPerBlock, nil, nil)
-			if err != nil {
-				return err
-			}
-			batch = append(batch, entry)
-		}
-		tab.Tails = append(tab.Tails, batch)
-		tab.RowCount += int64(len(rel.Rows))
-		dropIndexes(tab) // positions shift; indexes describe one rendering
-		return e.cat.Put(tab)
+		snap = insertSnapshot{layoutExpr: tab.LayoutExpr, schema: schema}
+		return nil
 	})
+	if err != nil {
+		return snap, err
+	}
+	e.snapMu.Lock()
+	e.insertSnaps[name] = snap
+	e.snapMu.Unlock()
+	return snap, nil
+}
+
+// prepareTail validates rows, runs the per-row pipeline steps (project,
+// select — tails stay unorganized, see applySteps) and encodes the tail's
+// segment blocks into memory. No locks held, no page I/O.
+func (e *Engine) prepareTail(snap insertSnapshot, rows []value.Row) (*stagedTail, error) {
+	for i, r := range rows {
+		if err := snap.schema.Validate(r); err != nil {
+			return nil, fmt.Errorf("table: row %d: %w", i, err)
+		}
+	}
+	spec, err := e.compile(snap.layoutExpr)
+	if err != nil {
+		return nil, err
+	}
+	rel := transforms.Relation{Schema: snap.schema, Rows: rows}
+	rel, err = e.applySteps(rel, spec, true)
+	if err != nil {
+		return nil, err
+	}
+	st := &stagedTail{rows: int64(len(rel.Rows))}
+	for _, def := range spec.Segments {
+		w, err := e.stageSegment(rel, def, spec.RowsPerBlock, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.writers = append(st.writers, w)
+		st.defs = append(st.defs, def)
+	}
+	return st, nil
+}
+
+// publishTail installs a staged tail batch: allocate extents, write the
+// rendered pages in place, append the tail entry and bump the catalog. The
+// caller holds the exclusive table lock. With revalidate, a layout mismatch
+// against the prepare-time snapshot returns ok=false so the caller can
+// re-prepare. Tail-only appends do not shift positions in the main
+// rendering, so secondary indexes survive (IndexScan post-scans the
+// unindexed suffix).
+//
+// In SyncInserts mode the written pages are also returned as WAL images,
+// with a catalog tail-append delta (catalog.EncodeTailAppend); the caller
+// logs and fsyncs both once the lock is dropped, keeping the durability
+// wait off the table's critical section. The catalog itself is only updated
+// in memory (PutBuffered) — rewriting the whole catalog per insert is
+// O(catalog size) of serialized work, while the logged delta is O(batch)
+// and replays on recovery. The image payloads alias the staged writers'
+// buffers, which st keeps alive.
+func (e *Engine) publishTail(name, layoutExpr string, st *stagedTail, revalidate bool) (pub published, err error) {
+	tab, err := e.cat.Get(name)
+	if err != nil {
+		return published{}, err
+	}
+	if revalidate && tab.LayoutExpr != layoutExpr {
+		return published{}, nil // layout moved between prepare and publish
+	}
+	durable := e.SyncInserts && e.locks != nil
+	batch := make([]catalog.SegmentEntry, 0, len(st.writers))
+	for i, w := range st.writers {
+		var meta segment.Meta
+		var err error
+		if durable {
+			var chunks [][]byte
+			meta, chunks, err = w.FinishChunks()
+			if err == nil {
+				err = e.file.WriteRun(meta.ExtentStart, w.Buf())
+				for j, chunk := range chunks {
+					pub.images = append(pub.images, txn.PageImage{
+						ID: meta.ExtentStart + pager.PageID(j), Payload: chunk,
+					})
+				}
+			}
+		} else {
+			meta, err = w.Finish()
+		}
+		if err != nil {
+			return published{}, err
+		}
+		batch = append(batch, catalog.SegmentEntry{
+			Fields: st.defs[i].Fields, Codecs: st.defs[i].Codecs, Meta: meta,
+		})
+	}
+	// Copy-on-write: the append builds a new record and Put/PutBuffered
+	// swaps it in under the catalog lock, so a concurrent checkpoint flush
+	// never encodes a half-applied append. Appending to the copied slice
+	// only ever writes past the shared prefix's length, which readers of
+	// the old record never reach.
+	work := *tab
+	work.Tails = append(work.Tails, batch)
+	work.RowCount += st.rows
+	var tailRows int64
+	for _, b := range work.Tails {
+		if len(b) > 0 {
+			tailRows += b[0].Meta.Rows
+		}
+	}
+	pub.mergeNeeded = e.mergeTrigger(len(work.Tails), tailRows)
+	if durable {
+		pub.delta = catalog.EncodeTailAppend(name, batch, st.rows)
+		e.cat.PutBuffered(&work)
+		// Captured under the table lock: any checkpointBeforeFree that
+		// could free this batch's extents must take this lock first, so it
+		// is ordered strictly after this read and bumps the barrier.
+		pub.barrier = e.locks.Barrier()
+	} else if err := e.cat.Put(&work); err != nil {
+		return published{}, err
+	}
+	pub.ok = true
+	return pub, nil
 }
 
 // AlterLayout changes the table's layout expression. ReorgEager re-renders
@@ -283,19 +556,20 @@ func (e *Engine) AlterLayout(name, layoutExpr string, mode ReorgMode) error {
 		if spec.Table != name {
 			return fmt.Errorf("table: layout %q is for table %q, not %q", layoutExpr, spec.Table, name)
 		}
+		work := *tab // copy-on-write; Put swaps the finished record in
 		switch mode {
 		case ReorgEager:
-			tab.LayoutExpr = expr.String()
-			tab.NeedsReorg = false
-			tab.PendingExpr = ""
-			if err := e.cat.Put(tab); err != nil {
+			work.LayoutExpr = expr.String()
+			work.NeedsReorg = false
+			work.PendingExpr = ""
+			if err := e.cat.Put(&work); err != nil {
 				return err
 			}
-			return e.reorganizeLocked(tab)
+			return e.reorganizeLocked(&work)
 		case ReorgLazy:
-			tab.PendingExpr = expr.String()
-			tab.NeedsReorg = true
-			return e.cat.Put(tab)
+			work.PendingExpr = expr.String()
+			work.NeedsReorg = true
+			return e.cat.Put(&work)
 		default:
 			return fmt.Errorf("table: unknown reorg mode %q", mode)
 		}
@@ -316,6 +590,13 @@ func (e *Engine) Reorganize(name string) error {
 
 // reorganizeLocked re-renders tab. Caller holds the table lock.
 func (e *Engine) reorganizeLocked(tab *catalog.Table) error {
+	e.dropInsertSnap(tab.Name) // the layout (pending expr) may flip below
+	// Work on a private copy: the shared record — which a concurrent
+	// checkpoint may flush to disk at any point — must never pair the new
+	// layout with the old segments. The render's Put swaps the finished
+	// copy in atomically.
+	work := *tab
+	tab = &work
 	schema, err := tab.Schema()
 	if err != nil {
 		return err
@@ -330,6 +611,9 @@ func (e *Engine) reorganizeLocked(tab *catalog.Table) error {
 	// projected layouts reorganize over their final schema instead.
 	rows, readSchema, err := e.readAllRows(tab)
 	if err != nil {
+		return err
+	}
+	if err := e.checkpointBeforeFree(); err != nil {
 		return err
 	}
 	old := *tab // snapshot for extent freeing after render
@@ -412,7 +696,7 @@ func (e *Engine) renderWithSpec(tab *catalog.Table, schema *value.Schema, rows [
 
 	var entries []catalog.SegmentEntry
 	for _, def := range spec.Segments {
-		entry, err := e.writeSegment(rel, def, spec.RowsPerBlock, ordered, bounds)
+		entry, err := e.writeSegment(rel, def, spec.RowsPerBlock, ordered)
 		if err != nil {
 			return err
 		}
@@ -490,24 +774,36 @@ func orderCells(cells map[uint64][]value.Row, bounds []transforms.GridBounds, cu
 	return out, nil
 }
 
-// writeSegment renders one vertical partition. ordered carries the
-// cell-ordered row runs (nil means "use rel.Rows as one run", used by
-// Insert tails).
-func (e *Engine) writeSegment(rel transforms.Relation, def layout.SegmentDef, rowsPerBlock int, ordered []cellRun, bounds []transforms.GridBounds) (catalog.SegmentEntry, error) {
+// stageSegment encodes one vertical partition's blocks into an in-memory
+// segment writer (no extent allocated, no page I/O — that happens when the
+// caller Finishes the writer). ordered carries the cell-ordered row runs
+// (nil means "use rel.Rows as one run", used by Insert tails).
+func (e *Engine) stageSegment(rel transforms.Relation, def layout.SegmentDef, rowsPerBlock int, ordered []cellRun) (*segment.Writer, error) {
 	proj, idx, err := rel.Schema.Project(def.Fields)
 	if err != nil {
-		return catalog.SegmentEntry{}, err
+		return nil, err
 	}
 	spec := segment.Spec{Fields: proj.Fields, Codecs: def.Codecs}
 	w, err := segment.NewWriter(e.file, spec)
 	if err != nil {
-		return catalog.SegmentEntry{}, err
+		return nil, err
 	}
 	if ordered == nil {
 		ordered = []cellRun{{cell: segment.NoCell, rows: rel.Rows}}
 	}
 	if rowsPerBlock <= 0 {
 		rowsPerBlock = segment.DefaultRowsPerBlock
+	}
+	// A segment holding every field in schema order needs no per-row
+	// projection: pass the row slice through (WriteBlock only reads it).
+	// This is the common tail-insert shape (rows/chunk layouts) and saves a
+	// Row allocation per row on the ingest path.
+	identity := len(idx) == len(rel.Schema.Fields)
+	for i, c := range idx {
+		if c != i {
+			identity = false
+			break
+		}
 	}
 	projRow := func(r value.Row) value.Row {
 		out := make(value.Row, len(idx))
@@ -522,14 +818,27 @@ func (e *Engine) writeSegment(rel transforms.Relation, def layout.SegmentDef, ro
 			if hi > len(run.rows) {
 				hi = len(run.rows)
 			}
-			block := make([]value.Row, hi-lo)
-			for i, r := range run.rows[lo:hi] {
-				block[i] = projRow(r)
+			block := run.rows[lo:hi]
+			if !identity {
+				block = make([]value.Row, hi-lo)
+				for i, r := range run.rows[lo:hi] {
+					block[i] = projRow(r)
+				}
 			}
 			if err := w.WriteBlock(run.cell, block); err != nil {
-				return catalog.SegmentEntry{}, err
+				return nil, err
 			}
 		}
+	}
+	return w, nil
+}
+
+// writeSegment renders one vertical partition: stage the blocks, then
+// allocate the extent and write the stream.
+func (e *Engine) writeSegment(rel transforms.Relation, def layout.SegmentDef, rowsPerBlock int, ordered []cellRun) (catalog.SegmentEntry, error) {
+	w, err := e.stageSegment(rel, def, rowsPerBlock, ordered)
+	if err != nil {
+		return catalog.SegmentEntry{}, err
 	}
 	meta, err := w.Finish()
 	if err != nil {

@@ -17,10 +17,12 @@ import (
 // does not innovate here, and neither do we). An index maps one field's
 // values to row positions in the table's stored order.
 //
-// Indexes describe a specific rendering: any operation that rewrites or
-// appends data (Insert, Reorganize, AlterLayout, Load) drops them; rebuild
-// with CreateIndex. This mirrors the paper's bulk-oriented reorganization
-// model rather than attempting incremental maintenance.
+// Indexes describe a specific rendering of the main segments: operations
+// that rewrite the stored order (Reorganize, AlterLayout, Load) drop them;
+// rebuild with CreateIndex. Tail-only Inserts do NOT drop indexes — an
+// appended tail shifts no existing position, so the tree stays valid for
+// the prefix it covers (IndexMeta.Rows) and IndexScan post-scans the
+// unindexed suffix.
 
 // CreateIndex builds a B+tree over the named field of the table's stored
 // rows. The field must be stored by the current layout.
@@ -71,8 +73,14 @@ func (e *Engine) CreateIndex(tableName, field string) error {
 			}
 			pos++
 		}
-		tab.Indexes = append(tab.Indexes, catalog.IndexMeta{Field: field, Root: uint64(tree.Root())})
-		return e.cat.Put(tab)
+		// Copy-on-write: Put swaps the finished record in under the catalog
+		// lock, so a concurrent checkpoint flush never encodes a half-updated
+		// table (see catalog.Catalog.Get).
+		work := *tab
+		work.Indexes = append(append([]catalog.IndexMeta(nil), tab.Indexes...), catalog.IndexMeta{
+			Field: field, Root: uint64(tree.Root()), Rows: tab.RowCount,
+		})
+		return e.cat.Put(&work)
 	})
 }
 
@@ -85,8 +93,9 @@ func (e *Engine) DropIndex(tableName, field string) error {
 		}
 		for i, idx := range tab.Indexes {
 			if idx.Field == field {
-				tab.Indexes = append(tab.Indexes[:i], tab.Indexes[i+1:]...)
-				return e.cat.Put(tab)
+				work := *tab
+				work.Indexes = append(append([]catalog.IndexMeta(nil), tab.Indexes[:i]...), tab.Indexes[i+1:]...)
+				return e.cat.Put(&work)
 			}
 		}
 		return fmt.Errorf("table: no index on %s(%s)", tableName, field)
@@ -126,10 +135,12 @@ func (e *Engine) IndexScan(tableName string, fields []string, pred algebra.Predi
 			return err
 		}
 		var root pager.PageID
+		indexedRows := int64(0)
 		found := false
 		for _, idx := range tab.Indexes {
 			if idx.Field == indexField {
 				root = pager.PageID(idx.Root)
+				indexedRows = idx.Rows
 				found = true
 			}
 		}
@@ -161,6 +172,17 @@ func (e *Engine) IndexScan(tableName string, fields []string, pred algebra.Predi
 		_ = loOpen
 		_ = hiOpen
 		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		// Rows appended since the index was built (tail batches) are not in
+		// the tree; add them as an unindexed suffix of candidates — the
+		// predicate post-filter below rejects non-matches. Every tree hit is
+		// below indexedRows, so the combined list stays sorted. This is one
+		// candidate per tail row, so the suffix cost grows with tail size:
+		// the merge policy (EnableAutoMerge) is what keeps it bounded. A
+		// future refinement could scan the tail batches directly with the
+		// predicate (zone maps apply) instead of materializing positions.
+		for p := indexedRows; p < tab.RowCount; p++ {
+			positions = append(positions, p)
+		}
 
 		// Fetch the raw rows at those positions (no predicate: filtering
 		// would compact block offsets and break the position mapping), then

@@ -1,0 +1,180 @@
+package table
+
+import "sync"
+
+// Background tail merging (paper §5's "reorganize only new data", run off
+// the ingest path). Insert appends unorganized tail batches; when a table
+// accumulates enough of them the engine's merge worker folds the tails into
+// the main rendering with the same machinery as an explicit Reorganize —
+// the levelled tail-then-merge shape of log-structured stores, amortized in
+// the background so committers never pay for reorganization.
+//
+// The worker is opt-in (EnableAutoMerge); without it the synchronous path —
+// calling Reorganize explicitly — is unchanged, which is what the paper
+// experiments use.
+
+// MergePolicy decides when a table's accumulated tails are folded into the
+// main rendering by the background merge worker.
+type MergePolicy struct {
+	// MaxTails triggers a merge when the table has at least this many tail
+	// batches (0 disables the batch-count trigger).
+	MaxTails int
+	// MaxTailRows triggers a merge when the tails hold at least this many
+	// rows in total (0 disables the row-count trigger).
+	MaxTailRows int64
+}
+
+// DefaultMergePolicy keeps read amplification bounded without merging on
+// every insert.
+var DefaultMergePolicy = MergePolicy{MaxTails: 8}
+
+// merger is the engine-owned background worker. Tables are enqueued at most
+// once; the worker folds each with Engine.Reorganize (which takes the
+// exclusive table lock, so merges serialize with inserts per table but not
+// across tables).
+type merger struct {
+	e      *Engine
+	policy MergePolicy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []string
+	queued  map[string]bool
+	pending int // enqueued + in-flight merges (WaitMerges barrier)
+	stopped bool
+	lastErr error
+	done    chan struct{}
+}
+
+// EnableAutoMerge starts the background tail-merge worker with the given
+// policy (zero-value fields fall back to DefaultMergePolicy). Calling it
+// again replaces the policy, stopping and restarting the worker.
+func (e *Engine) EnableAutoMerge(p MergePolicy) {
+	if p.MaxTails <= 0 && p.MaxTailRows <= 0 {
+		p = DefaultMergePolicy
+	}
+	e.DisableAutoMerge()
+	m := &merger{e: e, policy: p, queued: make(map[string]bool), done: make(chan struct{})}
+	m.cond = sync.NewCond(&m.mu)
+	e.mergeMu.Lock()
+	e.merge = m
+	e.mergeMu.Unlock()
+	go m.run()
+}
+
+// DisableAutoMerge stops the merge worker, draining any queued merges
+// first. No-op when auto merge is off.
+func (e *Engine) DisableAutoMerge() {
+	e.mergeMu.Lock()
+	m := e.merge
+	e.merge = nil
+	e.mergeMu.Unlock()
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stopped = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	<-m.done
+}
+
+// WaitMerges blocks until every merge enqueued so far has completed. It is
+// a measurement/test barrier; production inserters never wait.
+func (e *Engine) WaitMerges() {
+	e.mergeMu.Lock()
+	m := e.merge
+	e.mergeMu.Unlock()
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	for m.pending > 0 {
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// MergeErr returns the most recent background merge failure, if any.
+// Inserts never fail because a merge did; errors surface here.
+func (e *Engine) MergeErr() error {
+	e.mergeMu.Lock()
+	m := e.merge
+	e.mergeMu.Unlock()
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// mergeTrigger reports whether tab's tails exceed the active policy. The
+// caller holds the exclusive table lock, so reading Tails is safe.
+func (e *Engine) mergeTrigger(tails int, tailRows int64) bool {
+	e.mergeMu.Lock()
+	m := e.merge
+	e.mergeMu.Unlock()
+	if m == nil {
+		return false
+	}
+	if m.policy.MaxTails > 0 && tails >= m.policy.MaxTails {
+		return true
+	}
+	return m.policy.MaxTailRows > 0 && tailRows >= m.policy.MaxTailRows
+}
+
+// maybeAutoMerge enqueues the table for a background merge. Called by
+// Insert after its publish phase observed the policy trigger.
+func (e *Engine) maybeAutoMerge(name string, trigger bool) {
+	if !trigger {
+		return
+	}
+	e.mergeMu.Lock()
+	m := e.merge
+	e.mergeMu.Unlock()
+	if m == nil {
+		return
+	}
+	m.enqueue(name)
+}
+
+func (m *merger) enqueue(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped || m.queued[name] {
+		return
+	}
+	m.queued[name] = true
+	m.queue = append(m.queue, name)
+	m.pending++
+	m.cond.Broadcast()
+}
+
+func (m *merger) run() {
+	defer close(m.done)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.stopped {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return // stopped and drained
+		}
+		name := m.queue[0]
+		m.queue = m.queue[1:]
+		delete(m.queued, name)
+		m.mu.Unlock()
+
+		err := m.e.Reorganize(name)
+
+		m.mu.Lock()
+		if err != nil {
+			m.lastErr = err
+		}
+		m.pending--
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}

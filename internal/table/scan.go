@@ -41,19 +41,38 @@ type ScanOptions struct {
 	Workers int
 }
 
+// reorganizeIfNeeded applies a pending lazy reorganization under the
+// exclusive table lock. Readers that find NeedsReorg set under their shared
+// lock release it and call this instead of reorganizing in place: two
+// shared holders reorganizing concurrently would each render and free the
+// same old extents (a double free). The re-check under the exclusive lock
+// makes the losers of that race no-ops.
+func (e *Engine) reorganizeIfNeeded(name string) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		if !tab.NeedsReorg {
+			return nil // another reader already reorganized
+		}
+		return e.reorganizeLocked(tab)
+	})
+}
+
 // Scan opens a cursor over the table (paper §4.1 scan). Lazy-reorganization
 // marks are honored before the scan runs.
 func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 	var cur *Cursor
+	var needsReorg bool
 	err := e.withLock(name, txn.Shared, func() error {
 		tab, err := e.cat.Get(name)
 		if err != nil {
 			return err
 		}
 		if tab.NeedsReorg {
-			if err := e.reorganizeLocked(tab); err != nil {
-				return err
-			}
+			needsReorg = true // reorganize needs the exclusive lock; retry below
+			return nil
 		}
 		cur, err = e.scanStored2(tab, opts.Fields, opts.Pred, false, opts.NoZonePrune)
 		if err != nil {
@@ -69,6 +88,12 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if needsReorg {
+		if err := e.reorganizeIfNeeded(name); err != nil {
+			return nil, err
+		}
+		return e.Scan(name, opts) // NeedsReorg is now clear; at most one retry
 	}
 	return cur, nil
 }
@@ -108,15 +133,15 @@ func (e *Engine) orderMatchesStored(tab *catalog.Table, order []algebra.OrderKey
 // continue in stored order, which is what the API's next() specifies.
 func (e *Engine) GetElement(name string, fields []string, index []int64) (*Cursor, error) {
 	var cur *Cursor
+	var needsReorg bool
 	err := e.withLock(name, txn.Shared, func() error {
 		tab, err := e.cat.Get(name)
 		if err != nil {
 			return err
 		}
 		if tab.NeedsReorg {
-			if err := e.reorganizeLocked(tab); err != nil {
-				return err
-			}
+			needsReorg = true // reorganize needs the exclusive lock; retry below
+			return nil
 		}
 		switch {
 		case len(index) == 1:
@@ -145,6 +170,12 @@ func (e *Engine) GetElement(name string, fields []string, index []int64) (*Curso
 	})
 	if err != nil {
 		return nil, err
+	}
+	if needsReorg {
+		if err := e.reorganizeIfNeeded(name); err != nil {
+			return nil, err
+		}
+		return e.GetElement(name, fields, index)
 	}
 	return cur, nil
 }

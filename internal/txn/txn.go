@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rodentstore/internal/pager"
@@ -38,6 +39,10 @@ const (
 	Exclusive
 )
 
+// DefaultCheckpointBytes is the log size at which a commit schedules a
+// checkpoint (page-file sync + log truncate) off its own durability path.
+const DefaultCheckpointBytes = 4 << 20
+
 // Manager coordinates transactions over one page file and one log.
 type Manager struct {
 	mu          sync.Mutex
@@ -46,35 +51,244 @@ type Manager struct {
 	nextTxn     uint64
 	locks       *lockTable
 	LockTimeout time.Duration
+
+	// GroupCommit makes Commit's log durability wait on a shared fsync
+	// ticket (wal.Log.Sync): one fsync absorbs every commit appended while
+	// the previous fsync was in flight. When false each commit pays its own
+	// fsync (wal.Log.Flush) — the pre-group-commit behavior, kept for the
+	// ingest benchmark's ablation axis.
+	GroupCommit bool
+
+	// CheckpointBytes triggers a checkpoint when the log grows past it
+	// (0 disables the size trigger). CheckpointEvery triggers one when that
+	// much time has passed since the last checkpoint (0 disables the
+	// interval trigger). Checkpoints run opportunistically after a commit
+	// has already acknowledged, never on the commit's durability path.
+	CheckpointBytes int64
+	CheckpointEvery time.Duration
+
+	// BeforeCheckpoint, when set, runs at the start of every checkpoint
+	// (and after recovery replay), before the page file is synced and the
+	// log truncated. The engine hooks the catalog's Flush here so buffered
+	// catalog updates reach disk before the log records that could rebuild
+	// them are discarded. Set it before the first transaction.
+	BeforeCheckpoint func() error
+
+	// OnRecoverCatalog, when set, receives each committed catalog delta
+	// (wal.RecCatalog payload) during Recover, in log order. The engine
+	// hooks the catalog's ApplyTailAppend here. Set it before Recover.
+	OnRecoverCatalog func([]byte) error
+
+	// ckptMu orders checkpoints against in-flight commits: a committing
+	// transaction holds the read side from its first log append until its
+	// pages are applied, so a checkpoint (write side) never truncates a
+	// commit record whose pages have not reached the page file.
+	ckptMu   sync.RWMutex
+	lastCkpt time.Time // guarded by mu
+
+	// barrier counts CheckpointBarrier runs — checkpoints taken because
+	// extents are about to be freed. A bulk writer captures Barrier while
+	// its pages cannot yet have been freed (it still holds the lock that
+	// orders it against the freeing path) and passes it to LogAppliedSince,
+	// which refuses to log images whose extents may have been freed (and
+	// reallocated) in between — replaying those after a crash would clobber
+	// the extents' new contents.
+	barrier atomic.Uint64
 }
 
 // NewManager creates a manager. Call Recover before the first transaction
 // when opening an existing database.
 func NewManager(file *pager.File, log *wal.Log) *Manager {
+	log.ReserveBuffer(file.PageSize() + 128)
 	return &Manager{
-		file:        file,
-		log:         log,
-		nextTxn:     1,
-		locks:       newLockTable(),
-		LockTimeout: 2 * time.Second,
+		file:            file,
+		log:             log,
+		nextTxn:         1,
+		locks:           newLockTable(),
+		LockTimeout:     2 * time.Second,
+		GroupCommit:     true,
+		CheckpointBytes: DefaultCheckpointBytes,
+		lastCkpt:        time.Now(),
 	}
 }
 
+// Checkpoint forces a checkpoint now: every applied page is made durable,
+// then the log is truncated. It waits for in-flight commits to finish
+// applying their pages first.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	return m.checkpointLocked()
+}
+
+// Barrier returns the current free-barrier value, for LogAppliedSince.
+func (m *Manager) Barrier() uint64 { return m.barrier.Load() }
+
+// CheckpointBarrier is Checkpoint for callers about to free extents that
+// may appear in not-yet-logged page images: it advances the free barrier
+// so any LogAppliedSince holding an older barrier value falls back to a
+// checkpoint instead of logging stale images.
+func (m *Manager) CheckpointBarrier() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	m.barrier.Add(1)
+	return m.checkpointLocked()
+}
+
+// checkpointLocked does the checkpoint work. Caller holds ckptMu (write).
+func (m *Manager) checkpointLocked() error {
+	if m.BeforeCheckpoint != nil {
+		if err := m.BeforeCheckpoint(); err != nil {
+			return err
+		}
+	}
+	if err := m.file.Sync(); err != nil {
+		return err
+	}
+	if err := m.log.Truncate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.lastCkpt = time.Now()
+	m.mu.Unlock()
+	return nil
+}
+
+// PageImage pairs a page id with its payload, for LogApplied.
+type PageImage struct {
+	ID      pager.PageID
+	Payload []byte
+}
+
+// LogApplied makes already-applied page writes durable: the images are
+// appended to the log as one committed transaction and the log is synced
+// (sharing the group-commit fsync by default). Bulk writers use it to move
+// the fsync wait off their critical section — they write pages in place
+// under their own higher-level lock, release it, then call LogApplied, so
+// concurrent callers' fsyncs coalesce. Recovery re-applies the images,
+// which is idempotent.
+//
+// catalogDelta, when non-nil, is logged alongside the images as a
+// wal.RecCatalog record: recovery hands it to OnRecoverCatalog after
+// re-applying the images, so metadata describing the pages (a catalog tail
+// append) becomes redo-durable in the same fsync without rewriting the
+// catalog itself.
+//
+// Callers that later rewrite or free those pages outside a transaction must
+// CheckpointBarrier first, so a stale image cannot be replayed over the new
+// content after a crash.
+func (m *Manager) LogApplied(images []PageImage, catalogDelta []byte) error {
+	return m.LogAppliedSince(m.barrier.Load(), images, catalogDelta)
+}
+
+// LogAppliedSince is LogApplied guarded by the free barrier: barrier is the
+// Barrier() value the caller captured while it still held the lock that
+// orders it against extent frees. If a CheckpointBarrier has run since,
+// some of the images' extents may already be freed — and reallocated — so
+// logging them could replay stale bytes over new content after a crash.
+// In that case nothing is logged; a fresh checkpoint makes everything the
+// caller applied durable instead (same guarantee, no redo records).
+func (m *Manager) LogAppliedSince(barrier uint64, images []PageImage, catalogDelta []byte) error {
+	if len(images) == 0 && catalogDelta == nil {
+		return nil
+	}
+	m.mu.Lock()
+	id := m.nextTxn
+	m.nextTxn++
+	m.mu.Unlock()
+	m.ckptMu.RLock()
+	if m.barrier.Load() != barrier {
+		m.ckptMu.RUnlock()
+		return m.Checkpoint()
+	}
+	err := func() error {
+		if err := m.log.Append(wal.Record{Type: wal.RecBegin, TxnID: id}); err != nil {
+			return err
+		}
+		for _, img := range images {
+			if err := m.log.Append(wal.Record{
+				Type: wal.RecPageImage, TxnID: id, PageID: img.ID, Payload: img.Payload,
+			}); err != nil {
+				return err
+			}
+		}
+		if catalogDelta != nil {
+			if err := m.log.Append(wal.Record{
+				Type: wal.RecCatalog, TxnID: id, Payload: catalogDelta,
+			}); err != nil {
+				return err
+			}
+		}
+		return m.log.Append(wal.Record{Type: wal.RecCommit, TxnID: id})
+	}()
+	m.ckptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if m.GroupCommit {
+		err = m.log.Sync()
+	} else {
+		err = m.log.Flush()
+	}
+	if err != nil {
+		return err
+	}
+	return m.maybeCheckpoint()
+}
+
+// maybeCheckpoint runs a checkpoint if the size or interval policy asks for
+// one and no other checkpoint or commit is in the way (contended attempts
+// are skipped — the policy re-triggers on a later commit).
+func (m *Manager) maybeCheckpoint() error {
+	trigger := m.CheckpointBytes > 0 && m.log.Size() >= m.CheckpointBytes
+	if !trigger && m.CheckpointEvery > 0 {
+		m.mu.Lock()
+		trigger = time.Since(m.lastCkpt) >= m.CheckpointEvery
+		m.mu.Unlock()
+	}
+	if !trigger {
+		return nil
+	}
+	if !m.ckptMu.TryLock() {
+		return nil
+	}
+	defer m.ckptMu.Unlock()
+	return m.checkpointLocked()
+}
+
 // Recover replays committed transactions from the log into the page file
-// and truncates the log. It must run before new transactions start.
+// (catalog deltas go to OnRecoverCatalog) and truncates the log. It must
+// run before new transactions start, with both hooks already set.
 func (m *Manager) Recover() (int, error) {
-	n, err := m.log.Recover(func(id pager.PageID, img []byte) error {
-		return m.file.WritePage(id, img)
-	})
+	n, err := m.log.RecoverFull(func(id pager.PageID, img []byte) error {
+		// RecoverPage, not WritePage: the stale header's allocation state
+		// may not cover WAL-logged pages yet (the cursor and free list are
+		// only durable as of the last checkpoint).
+		return m.file.RecoverPage(id, img)
+	}, m.OnRecoverCatalog)
 	if err != nil {
 		return n, err
 	}
 	if n > 0 {
+		// Persist the replayed state — including catalog updates rebuilt
+		// from deltas (BeforeCheckpoint flushes them) — before the log that
+		// could rebuild it again is discarded.
+		if m.BeforeCheckpoint != nil {
+			if err := m.BeforeCheckpoint(); err != nil {
+				return n, err
+			}
+		}
 		if err := m.file.Sync(); err != nil {
 			return n, err
 		}
 	}
-	return n, m.log.Truncate()
+	if err := m.log.Truncate(); err != nil {
+		return n, err
+	}
+	m.mu.Lock()
+	m.lastCkpt = time.Now()
+	m.mu.Unlock()
+	return n, nil
 }
 
 // Begin starts a transaction.
@@ -162,8 +376,12 @@ func (t *Txn) Write(id pager.PageID, payload []byte) error {
 	return nil
 }
 
-// Commit logs the write set, forces the log, applies the pages, and
-// releases locks. After Commit returns nil the transaction is durable.
+// Commit logs the write set, waits for log durability (a shared group-commit
+// fsync by default), applies the pages, and releases locks. After Commit
+// returns nil the transaction is durable: its images are in the fsync'd log,
+// and the applied pages are persisted by a later checkpoint (or replayed by
+// Recover after a crash). Commit itself never syncs the page file or
+// truncates the log — that is the Manager's checkpoint policy.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
@@ -173,34 +391,49 @@ func (t *Txn) Commit() error {
 	if len(t.writes) == 0 {
 		return nil // read-only
 	}
-	if err := t.mgr.log.Append(wal.Record{Type: wal.RecBegin, TxnID: t.id}); err != nil {
+	m := t.mgr
+	m.ckptMu.RLock()
+	err := t.commitShielded()
+	m.ckptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return m.maybeCheckpoint()
+}
+
+// commitShielded logs, syncs and applies the write set. Caller holds the
+// manager's ckptMu read side so a concurrent checkpoint cannot truncate this
+// transaction's records before its pages are applied.
+func (t *Txn) commitShielded() error {
+	m := t.mgr
+	if err := m.log.Append(wal.Record{Type: wal.RecBegin, TxnID: t.id}); err != nil {
 		return err
 	}
 	for _, id := range t.order {
-		if err := t.mgr.log.Append(wal.Record{
+		if err := m.log.Append(wal.Record{
 			Type: wal.RecPageImage, TxnID: t.id, PageID: id, Payload: t.writes[id],
 		}); err != nil {
 			return err
 		}
 	}
-	if err := t.mgr.log.Append(wal.Record{Type: wal.RecCommit, TxnID: t.id}); err != nil {
+	if err := m.log.Append(wal.Record{Type: wal.RecCommit, TxnID: t.id}); err != nil {
 		return err
 	}
-	if err := t.mgr.log.Flush(); err != nil {
+	if m.GroupCommit {
+		if err := m.log.Sync(); err != nil {
+			return err
+		}
+	} else if err := m.log.Flush(); err != nil {
 		return err
 	}
 	// The commit point has passed: apply to the main file. Failures here
 	// are repaired by Recover on next open.
 	for _, id := range t.order {
-		if err := t.mgr.file.WritePage(id, t.writes[id]); err != nil {
+		if err := m.file.WritePage(id, t.writes[id]); err != nil {
 			return fmt.Errorf("txn: post-commit apply (recoverable on reopen): %w", err)
 		}
 	}
-	if err := t.mgr.file.Sync(); err != nil {
-		return err
-	}
-	// Checkpoint: everything applied and durable; the log can be truncated.
-	return t.mgr.log.Truncate()
+	return nil
 }
 
 // Abort discards the write set and releases locks.

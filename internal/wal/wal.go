@@ -9,16 +9,33 @@
 // file. Recovery replays the images of committed transactions in log order;
 // uncommitted tails are ignored. After a checkpoint (all applied pages
 // durable) the log is truncated.
+//
+// Two mechanisms keep the append path cheap under concurrency:
+//
+//   - Appends are encoded into a pending in-memory buffer under the log
+//     mutex and written to the file in one positional write when durability
+//     is requested — a one-page commit (begin + image + commit) is a single
+//     write syscall, and the encode path reuses the buffer's capacity
+//     instead of allocating per record.
+//
+//   - Sync implements group commit: durability waits on a shared ticket.
+//     One caller becomes the sync leader, flushes the pending buffer and
+//     issues the fsync; every commit that was appended while the previous
+//     fsync was in flight is absorbed by the same fsync. Under W concurrent
+//     committers one disk sync acknowledges up to W commits.
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
+	"rodentstore/internal/fsutil"
 	"rodentstore/internal/pager"
 )
 
@@ -34,6 +51,9 @@ const (
 	RecCommit RecordType = 3
 	// RecAbort marks a transaction rolled back; its images are ignored.
 	RecAbort RecordType = 4
+	// RecCatalog carries an opaque catalog delta (e.g. a tail-append blob);
+	// recovery hands committed deltas to the catalog callback in log order.
+	RecCatalog RecordType = 5
 )
 
 // Record is one log entry.
@@ -44,13 +64,49 @@ type Record struct {
 	Payload []byte
 }
 
+// defaultBufCap pre-sizes the pending append buffer so a small commit
+// (records for about one page of payload) encodes without growing it.
+const defaultBufCap = 4096
+
+// preallocBytes is the physical space kept allocated ahead of the append
+// cursor. Appends into preallocated blocks make the commit fsync a pure
+// data sync (no block-allocation or size-change metadata in the journal),
+// which is most of its cost on ext4. The file's size is therefore larger
+// than its logical content; Open finds the logical end by scanning record
+// frames (the same torn-tail rule Scan applies).
+const preallocBytes = 4 << 20
+
 // Log is an append-only record file. Methods are safe for concurrent use.
 type Log struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
-	size int64
+	size int64  // bytes written to the file (excludes wbuf)
+	wbuf []byte // encoded records not yet written to the file
+	seq  uint64 // append ticket: incremented once per Append
+
+	// Group-commit state. Lock order: mu may be held when taking gmu
+	// (Truncate does), but gmu is never held while taking mu — the sync
+	// leader takes them strictly in sequence.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	syncing bool   // a leader's fsync is in flight
+	synced  uint64 // highest append ticket known durable
+	// syncErr latches the first fsync failure. After a failed fsync the
+	// kernel may mark the dirty pages clean, so a retry can "succeed"
+	// without the data ever reaching disk (the fsyncgate problem); once
+	// set, every Sync/SyncTo/Flush fails until the log is reopened.
+	syncErr error
+
+	// fsyncs counts physical fsync calls (group-commit leaders + Flush);
+	// comparing it with the number of commits shows the amortization.
+	fsyncs atomic.Uint64
 }
+
+// Fsyncs returns the number of physical fsync calls issued so far. With
+// group commit, concurrent committers share leaders' fsyncs, so this grows
+// more slowly than the commit count.
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
 
 // Open opens (or creates) the log at path.
 func Open(path string) (*Log, error) {
@@ -58,44 +114,198 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	size, err := f.Seek(0, io.SeekEnd)
+	size, err := logicalSize(f)
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+		return nil, fmt.Errorf("wal: read %s: %w", path, err)
 	}
-	return &Log{f: f, path: path, size: size}, nil
+	l := &Log{f: f, path: path, size: size, wbuf: make([]byte, 0, defaultBufCap)}
+	l.gcond = sync.NewCond(&l.gmu)
+	// Best effort: without preallocation the log still works, each fsync
+	// just pays the journal metadata cost.
+	prealloc := int64(preallocBytes)
+	if size > prealloc {
+		prealloc = size
+	}
+	_ = fsutil.Preallocate(f, prealloc)
+	return l, nil
 }
 
-// Append writes one record to the log buffer (not yet durable; call Flush).
+// logicalSize walks well-formed record frames from the start and returns
+// the offset where they stop — the log's logical end, which is shorter than
+// the file when space is preallocated (or when a crash left a torn tail;
+// the next append overwrites it, matching Scan's recovery rule). It reads
+// incrementally and stops at the first bad frame, so opening a log never
+// reads the (mostly zero) preallocated region into memory.
+func logicalSize(f *os.File) (int64, error) {
+	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, 1<<62), 64<<10)
+	var off int64
+	var hdr [8]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, nil // clean EOF or short header: logical end
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		// A frame holds at most a page image plus fixed fields; a length
+		// wildly past that is crash garbage, not a record to buffer.
+		if n < 17 || n > 64<<20 {
+			return off, nil
+		}
+		if cap(body) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, nil // torn tail
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return off, nil // corrupt tail
+		}
+		off += int64(8 + n)
+	}
+}
+
+// ReserveBuffer grows the pending append buffer to at least n bytes of
+// capacity (a no-op if it is already that large), so commits up to that size
+// encode without reallocation. Callers that know the page size reserve one
+// page plus record framing.
+func (l *Log) ReserveBuffer(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap(l.wbuf)-len(l.wbuf) < n {
+		grown := make([]byte, len(l.wbuf), len(l.wbuf)+n)
+		copy(grown, l.wbuf)
+		l.wbuf = grown
+	}
+}
+
+// Append encodes one record into the pending buffer (not yet on disk; call
+// Sync or Flush for durability).
 // Framing: [total u32][crc u32][type u8][txn u64][page u64][payload].
 func (l *Log) Append(r Record) error {
-	body := make([]byte, 0, 17+len(r.Payload))
-	body = append(body, byte(r.Type))
-	body = binary.LittleEndian.AppendUint64(body, r.TxnID)
-	body = binary.LittleEndian.AppendUint64(body, uint64(r.PageID))
-	body = append(body, r.Payload...)
-
-	head := make([]byte, 8)
-	binary.LittleEndian.PutUint32(head, uint32(len(body)))
-	binary.LittleEndian.PutUint32(head[4:], crc32.ChecksumIEEE(body))
-
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.f.WriteAt(append(head, body...), l.size); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	l.size += int64(len(head) + len(body))
+	off := len(l.wbuf)
+	l.wbuf = append(l.wbuf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	l.wbuf = append(l.wbuf, byte(r.Type))
+	l.wbuf = binary.LittleEndian.AppendUint64(l.wbuf, r.TxnID)
+	l.wbuf = binary.LittleEndian.AppendUint64(l.wbuf, uint64(r.PageID))
+	l.wbuf = append(l.wbuf, r.Payload...)
+	body := l.wbuf[off+8:]
+	binary.LittleEndian.PutUint32(l.wbuf[off:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(l.wbuf[off+4:], crc32.ChecksumIEEE(body))
+	l.seq++
 	return nil
 }
 
-// Flush makes all appended records durable.
-func (l *Log) Flush() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+// flushBufLocked writes the pending buffer to the file in one positional
+// write. Caller holds l.mu.
+func (l *Log) flushBufLocked() error {
+	if len(l.wbuf) == 0 {
+		return nil
 	}
+	if _, err := l.f.WriteAt(l.wbuf, l.size); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(l.wbuf))
+	l.wbuf = l.wbuf[:0]
 	return nil
+}
+
+// Sync makes every record appended so far durable, using group commit: if
+// another caller's fsync is already in flight, this caller waits for the
+// next round and shares its fsync with every other waiter instead of
+// issuing one of its own.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return l.SyncTo(seq)
+}
+
+// SyncTo blocks until the record with append ticket seq (as observed by the
+// caller's own Append calls via Sync) is durable. At most one fsync is in
+// flight at a time; each fsync covers every record appended before it
+// started.
+func (l *Log) SyncTo(seq uint64) error {
+	l.gmu.Lock()
+	for {
+		if err := l.syncErr; err != nil {
+			l.gmu.Unlock()
+			return err
+		}
+		if l.synced >= seq {
+			l.gmu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break // become this round's leader
+		}
+		l.gcond.Wait()
+	}
+	l.syncing = true
+	l.gmu.Unlock()
+
+	// Leader: write out the pending buffer, note the highest ticket the
+	// fsync will cover, then sync. Appends that land during the fsync are
+	// not covered (they stay in the buffer for the next round).
+	l.mu.Lock()
+	top := l.seq
+	err := l.flushBufLocked()
+	l.mu.Unlock()
+	if err == nil {
+		l.fsyncs.Add(1)
+		if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: sync: %w", serr)
+		}
+	}
+
+	l.gmu.Lock()
+	l.syncing = false
+	if err == nil && top > l.synced {
+		l.synced = top
+	} else if err != nil && l.syncErr == nil {
+		l.syncErr = err // latch: waiters must not retry on this fd
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+	// Waiters observe the latched error (or, for a pure write failure race,
+	// take the leader role and surface their own); we surface ours.
+	return err
+}
+
+// Flush makes all appended records durable with an unconditional fsync of
+// its own (no group-commit ticket sharing). Kept for callers that want
+// per-call sync semantics; commit paths use Sync.
+func (l *Log) Flush() error {
+	l.gmu.Lock()
+	if err := l.syncErr; err != nil {
+		l.gmu.Unlock()
+		return err
+	}
+	l.gmu.Unlock()
+	l.mu.Lock()
+	top := l.seq
+	err := l.flushBufLocked()
+	l.mu.Unlock()
+	if err == nil {
+		l.fsyncs.Add(1)
+		if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: flush: %w", serr)
+		}
+	}
+	l.gmu.Lock()
+	if err == nil {
+		if top > l.synced {
+			l.synced = top
+		}
+	} else if l.syncErr == nil {
+		l.syncErr = err // same latch as SyncTo: no retries on this fd
+	}
+	l.gmu.Unlock()
+	return err
 }
 
 // Truncate empties the log (after a checkpoint).
@@ -105,28 +315,49 @@ func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
+	_ = fsutil.Preallocate(l.f, preallocBytes) // fresh zeroed append space
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync after truncate: %w", err)
 	}
 	l.size = 0
+	l.wbuf = l.wbuf[:0]
+	// Everything appended so far is gone; no ticket can still want it.
+	top := l.seq
+	l.gmu.Lock()
+	if top > l.synced {
+		l.synced = top
+	}
+	l.gmu.Unlock()
 	return nil
 }
 
-// Size returns the current log size in bytes.
+// Size returns the current log size in bytes, counting records still in the
+// pending buffer.
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.size
+	return l.size + int64(len(l.wbuf))
 }
 
-// Close closes the log file.
-func (l *Log) Close() error { return l.f.Close() }
+// Close flushes the pending buffer and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	err := l.flushBufLocked()
+	l.mu.Unlock()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Scan reads all well-formed records from the start of the log, stopping
 // silently at the first torn or corrupt record (the crash tail).
 func (l *Log) Scan() ([]Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.flushBufLocked(); err != nil {
+		return nil, err
+	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
@@ -162,8 +393,16 @@ func (l *Log) Scan() ([]Record, error) {
 
 // Recover replays the log: for every committed transaction, apply is called
 // with each page image in log order. It returns the number of transactions
-// replayed. Aborted and unfinished transactions are skipped.
+// replayed. Aborted and unfinished transactions are skipped, as are catalog
+// deltas (use RecoverFull to replay those too).
 func (l *Log) Recover(apply func(pager.PageID, []byte) error) (int, error) {
+	return l.RecoverFull(apply, nil)
+}
+
+// RecoverFull replays the log like Recover and additionally hands each
+// committed transaction's RecCatalog payloads to applyCatalog (nil to skip
+// them), interleaved with that transaction's page images in log order.
+func (l *Log) RecoverFull(apply func(pager.PageID, []byte) error, applyCatalog func([]byte) error) (int, error) {
 	recs, err := l.Scan()
 	if err != nil {
 		return 0, err
@@ -174,14 +413,23 @@ func (l *Log) Recover(apply func(pager.PageID, []byte) error) (int, error) {
 		switch r.Type {
 		case RecBegin:
 			pending[r.TxnID] = nil
-		case RecPageImage:
+		case RecPageImage, RecCatalog:
 			pending[r.TxnID] = append(pending[r.TxnID], r)
 		case RecAbort:
 			delete(pending, r.TxnID)
 		case RecCommit:
-			for _, img := range pending[r.TxnID] {
-				if err := apply(img.PageID, img.Payload); err != nil {
-					return replayed, fmt.Errorf("wal: replay txn %d page %d: %w", r.TxnID, img.PageID, err)
+			for _, rec := range pending[r.TxnID] {
+				if rec.Type == RecCatalog {
+					if applyCatalog == nil {
+						continue
+					}
+					if err := applyCatalog(rec.Payload); err != nil {
+						return replayed, fmt.Errorf("wal: replay txn %d catalog delta: %w", r.TxnID, err)
+					}
+					continue
+				}
+				if err := apply(rec.PageID, rec.Payload); err != nil {
+					return replayed, fmt.Errorf("wal: replay txn %d page %d: %w", r.TxnID, rec.PageID, err)
 				}
 			}
 			delete(pending, r.TxnID)

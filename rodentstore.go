@@ -91,6 +91,17 @@ type Options struct {
 	// bypasses caching so page-read statistics equal cold physical I/O,
 	// which is what the paper's experiments measure.
 	CachePages int
+	// DurableInserts routes Insert's publish phase through the write-ahead
+	// log: tail pages are logged as images and group-committed (one fsync
+	// absorbs concurrent inserters) before being applied. Off by default —
+	// the paper's experiments measure non-durable bulk ingest.
+	DurableInserts bool
+	// AutoMergeTails enables the background tail-merge worker: when a table
+	// accumulates this many unorganized tail batches they are folded into
+	// the main rendering off the insert path (paper §5's "reorganize only
+	// new data", amortized in the background). 0 (default) disables it;
+	// call Reorganize explicitly (the synchronous fallback).
+	AutoMergeTails int
 }
 
 // DB is a RodentStore database: one page file, its write-ahead log,
@@ -112,44 +123,70 @@ func Create(path string, opts *Options) (*DB, error) {
 			o.PageSize = opts.PageSize
 		}
 		o.CachePages = opts.CachePages
+		o.DurableInserts = opts.DurableInserts
+		o.AutoMergeTails = opts.AutoMergeTails
 	}
 	file, err := pager.Create(path, o.PageSize)
 	if err != nil {
 		return nil, err
 	}
-	return open(file, path, o.CachePages)
+	return open(file, path, o)
 }
 
-// Open opens an existing database, replaying the write-ahead log.
+// Open opens an existing database, replaying the write-ahead log. Runtime
+// options (durable inserts, background merging, caching) default to off;
+// use OpenWithOptions to re-enable them — they are per-session knobs, not
+// properties stored in the file.
 func Open(path string) (*DB, error) {
+	return OpenWithOptions(path, nil)
+}
+
+// OpenWithOptions opens an existing database with runtime options. The
+// page size always comes from the file; Options.PageSize is ignored. A
+// database created with DurableInserts must be reopened with it set, or
+// subsequent inserts are acknowledged without WAL logging.
+func OpenWithOptions(path string, opts *Options) (*DB, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
 	file, err := pager.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return open(file, path, 0)
+	return open(file, path, o)
 }
 
-func open(file *pager.File, path string, cachePages int) (*DB, error) {
+func open(file *pager.File, path string, o Options) (*DB, error) {
 	log, err := wal.Open(path + ".wal")
 	if err != nil {
 		file.Close()
 		return nil, err
 	}
 	mgr := txn.NewManager(file, log)
-	if _, err := mgr.Recover(); err != nil {
-		log.Close()
-		file.Close()
-		return nil, fmt.Errorf("rodentstore: recovery: %w", err)
-	}
+	// The catalog loads before recovery (its extent is flushed in place,
+	// never WAL-logged, so replay cannot change it) and the engine is
+	// created before Recover so its catalog hooks — checkpoint flush and
+	// tail-append delta replay — are in place for the replay itself.
 	cat, err := catalog.Load(file)
 	if err != nil {
 		log.Close()
 		file.Close()
 		return nil, err
 	}
-	db := &DB{file: file, log: log, mgr: mgr, cat: cat, eng: table.NewEngine(file, cat, mgr)}
-	if cachePages > 0 {
-		pool, err := buffer.NewPool(file, cachePages)
+	eng := table.NewEngine(file, cat, mgr)
+	if _, err := mgr.Recover(); err != nil {
+		log.Close()
+		file.Close()
+		return nil, fmt.Errorf("rodentstore: recovery: %w", err)
+	}
+	db := &DB{file: file, log: log, mgr: mgr, cat: cat, eng: eng}
+	db.eng.SyncInserts = o.DurableInserts
+	if o.AutoMergeTails > 0 {
+		db.eng.EnableAutoMerge(table.MergePolicy{MaxTails: o.AutoMergeTails})
+	}
+	if o.CachePages > 0 {
+		pool, err := buffer.NewPool(file, o.CachePages)
 		if err != nil {
 			log.Close()
 			file.Close()
@@ -161,18 +198,47 @@ func open(file *pager.File, path string, cachePages int) (*DB, error) {
 	return db, nil
 }
 
-// Close flushes and closes the database.
+// Close flushes and closes the database: pending background merges drain,
+// applied pages are made durable and the write-ahead log is truncated (a
+// final checkpoint), then the files close.
 func (db *DB) Close() error {
+	db.eng.DisableAutoMerge()
 	if db.pool != nil {
 		if err := db.pool.FlushAll(); err != nil {
 			return err
 		}
+	}
+	if err := db.mgr.Checkpoint(); err != nil {
+		return err
 	}
 	if err := db.log.Close(); err != nil {
 		db.file.Close()
 		return err
 	}
 	return db.file.Close()
+}
+
+// Checkpoint makes every applied page durable and truncates the write-ahead
+// log. Commits defer this work to the manager's size/interval policy; call
+// it directly to force the log empty (e.g. before copying the database
+// file).
+func (db *DB) Checkpoint() error { return db.mgr.Checkpoint() }
+
+// EnableAutoMerge starts (or re-configures) background tail merging: once a
+// table accumulates maxTails unorganized tail batches they are folded into
+// the main layout off the insert path.
+func (db *DB) EnableAutoMerge(maxTails int) {
+	db.eng.EnableAutoMerge(table.MergePolicy{MaxTails: maxTails})
+}
+
+// DisableAutoMerge stops background tail merging, draining queued merges.
+func (db *DB) DisableAutoMerge() { db.eng.DisableAutoMerge() }
+
+// WaitMerges blocks until every queued background merge has completed, then
+// reports the most recent background merge error, if any.
+func (db *DB) WaitMerges() error {
+	db.eng.WaitMerges()
+	return db.eng.MergeErr()
 }
 
 // PageSize returns the database's page size in bytes.

@@ -246,6 +246,43 @@ func TestPersistenceAPI(t *testing.T) {
 	}
 }
 
+func TestOpenWithOptionsDurableInserts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "durable.rdnt")
+	db, err := rodentstore.Create(path, &rodentstore.Options{DurableInserts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("Traces", tracesFields(), "rows(Traces)")
+	rows := cartel.Generate(cartel.DefaultConfig(100))
+	if err := db.Insert("Traces", rows[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with the option keeps inserts durable across sessions.
+	db2, err := rodentstore.OpenWithOptions(path, &rodentstore.Options{DurableInserts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Insert("Traces", rows[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := rodentstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if n, _ := db3.RowCount("Traces"); n != 100 {
+		t.Errorf("rows after reopen: %d, want 100", n)
+	}
+}
+
 func TestBufferPoolOption(t *testing.T) {
 	db := newDB(t, &rodentstore.Options{CachePages: 256})
 	loadTraces(t, db, "rows(Traces)", 1000)
