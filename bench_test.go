@@ -177,6 +177,28 @@ func BenchmarkIngestThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFilteredScan is Ext-11: filtered full-table-scan rows/sec,
+// selectivity 0.1%..100%, vectorized batch executor vs the boxed
+// row-at-a-time baseline. Speedups are vectorized over boxed at the same
+// selectivity — this is the pure per-tuple CPU comparison (hot pool, no
+// zone pruning), so unlike Ext-9/10 it is meaningful on a single core.
+func BenchmarkFilteredScan(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.N = 200_000
+	for i := 0; i < b.N; i++ {
+		results, err := bench.FilteredScan(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.RowsPerSec, "rows/sec:"+sanitize(r.Name))
+			if r.Vectorized {
+				b.ReportMetric(r.Speedup, "speedup:"+sanitize(r.Name))
+			}
+		}
+	}
+}
+
 // BenchmarkReorg is Ext-8: query cost before/after reorganization.
 func BenchmarkReorg(b *testing.B) {
 	cfg := benchConfig(b)

@@ -25,11 +25,11 @@ import (
 	"rodentstore/internal/bench"
 )
 
-var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest"}
+var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter"}
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|all")
+		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|all")
 		n        = flag.Int("n", 1_000_000, "number of observations (paper: 10000000)")
 		queries  = flag.Int("queries", 200, "number of window queries (paper: 200)")
 		area     = flag.Float64("area", 0.01, "query area fraction (paper: 0.01)")
@@ -71,6 +71,8 @@ func main() {
 			return bench.ConcurrentThroughput(cfg)
 		case "ingest":
 			return bench.IngestThroughput(cfg)
+		case "filter":
+			return bench.FilteredScan(cfg)
 		default:
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
@@ -141,6 +143,8 @@ func title(cfg bench.Config, name string) string {
 		return "Ext-9: concurrent read throughput (sharded pool, lock-free pager, parallel scan)"
 	case "ingest":
 		return "Ext-10: concurrent ingest throughput (group-commit WAL, staged inserts, background merge)"
+	case "filter":
+		return "Ext-11: filtered-scan selectivity sweep (vectorized batches vs boxed rows)"
 	}
 	return name
 }
@@ -161,8 +165,24 @@ func print(name string, data any) error {
 		return printThroughput(data.([]bench.ThroughputResult))
 	case "ingest":
 		return printIngest(data.([]bench.IngestResult))
+	case "filter":
+		return printFilter(data.([]bench.FilterResult))
 	}
 	return fmt.Errorf("no printer for %q", name)
+}
+
+func printFilter(results []bench.FilterResult) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\tselectivity\texecutor\trows\tmatched\tms\trows/sec\tspeedup")
+	for _, r := range results {
+		mode := "boxed"
+		if r.Vectorized {
+			mode = "vectorized"
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%s\t%d\t%d\t%.1f\t%.0f\t%.2fx\n",
+			r.Name, r.Selectivity*100, mode, r.Rows, r.Matched, r.Ms, r.RowsPerSec, r.Speedup)
+	}
+	return w.Flush()
 }
 
 func printFig2(results []bench.Result) error {

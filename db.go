@@ -122,6 +122,15 @@ type Cursor struct {
 // Next returns the next row; ok=false at the end.
 func (c *Cursor) Next() (Row, bool, error) { return c.inner.Next() }
 
+// NextBatch returns the next batch of rows as typed column vectors;
+// ok=false at the end. Batch iteration skips the per-row boxing Next pays,
+// which is the fast way to drain large scans. The returned batch is valid
+// only until the next Next/NextBatch/Close call on this cursor — copy out
+// anything that must survive. Mixing Next and NextBatch is allowed;
+// NextBatch first returns whatever Next has not consumed of the current
+// block.
+func (c *Cursor) NextBatch() (*Batch, bool, error) { return c.inner.NextBatch() }
+
 // Schema returns the cursor's output schema.
 func (c *Cursor) Schema() []Field { return c.inner.Schema().Fields }
 

@@ -33,28 +33,15 @@ func (c Comparison) String() string {
 }
 
 // Eval evaluates the term against a row under the given schema. Null field
-// values never satisfy a comparison.
+// values never satisfy a comparison. The operator mapping is opOK — the
+// same one the vectorized loops use, so the executors share one
+// definition.
 func (c Comparison) Eval(schema *value.Schema, row value.Row) bool {
 	i := schema.Index(c.Field)
 	if i < 0 || row[i].IsNull() {
 		return false
 	}
-	cmp := value.Compare(row[i], c.Value)
-	switch c.Op {
-	case OpEq:
-		return cmp == 0
-	case OpNe:
-		return cmp != 0
-	case OpLt:
-		return cmp < 0
-	case OpLe:
-		return cmp <= 0
-	case OpGt:
-		return cmp > 0
-	case OpGe:
-		return cmp >= 0
-	}
-	return false
+	return opOK(c.Op, value.Compare(row[i], c.Value))
 }
 
 // Predicate is a conjunction of comparisons. The zero Predicate is true.

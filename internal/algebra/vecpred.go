@@ -1,0 +1,223 @@
+package algebra
+
+// Vectorized predicate evaluation: CompilePred lowers a Predicate into a
+// sequence of typed comparison loops that run column-at-a-time over a
+// vec.Batch, compacting a selection vector — no schema lookup, interface
+// dispatch or value boxing per row. Results are identical to evaluating
+// Predicate.Eval on every boxed row, including the null rule (a null field
+// never satisfies a comparison) and value.Compare's numeric and NaN
+// ordering.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"rodentstore/internal/value"
+	"rodentstore/internal/vec"
+)
+
+// termKind selects the typed comparison loop of one compiled term.
+type termKind uint8
+
+const (
+	termIntInt     termKind = iota // int64 column vs int64 constant
+	termIntFloat                   // int64 column vs float64 constant (compare as floats)
+	termFloatFloat                 // float64 column vs float64 constant
+	termBytes                      // arena column vs []byte constant
+	termBoxed                      // fallback: box each row, value.Compare
+)
+
+// vecTerm is one compiled comparison.
+type vecTerm struct {
+	col  int
+	op   CmpOp
+	kind termKind
+	i    int64
+	f    float64
+	b    []byte
+	v    value.Value // boxed constant (termBoxed)
+}
+
+// CompiledPred is a predicate compiled against one schema, ready to filter
+// batches of that schema. Terms are ordered cheap-first: fixed-width numeric
+// columns (the zone-mapped ones) run before byte-string and boxed terms, so
+// the selection is usually small by the time expensive comparisons run.
+type CompiledPred struct {
+	terms []vecTerm
+	cols  []int
+}
+
+// CompilePred compiles p for batches of the given schema. The empty
+// predicate compiles to a pass-through filter.
+func CompilePred(p Predicate, schema *value.Schema) (*CompiledPred, error) {
+	cp := &CompiledPred{}
+	seen := make(map[int]bool)
+	for _, t := range p.Terms {
+		ci := schema.Index(t.Field)
+		if ci < 0 {
+			return nil, fmt.Errorf("algebra: predicate references unknown field %q", t.Field)
+		}
+		vt := vecTerm{col: ci, op: t.Op, kind: termBoxed, v: t.Value}
+		ft := schema.Fields[ci].Type
+		cv := t.Value
+		switch ft {
+		case value.Int:
+			switch cv.Kind() {
+			case value.Int:
+				vt.kind, vt.i = termIntInt, cv.Int()
+			case value.Float:
+				vt.kind, vt.f = termIntFloat, cv.Float()
+			}
+		case value.Bool:
+			if cv.Kind() == value.Bool {
+				vt.kind, vt.i = termIntInt, cv.Int()
+			}
+		case value.Float:
+			switch cv.Kind() {
+			case value.Float, value.Int:
+				// value.Compare widens Int constants to float here, so the
+				// typed loop can too.
+				vt.kind, vt.f = termFloatFloat, cv.Float()
+			}
+		case value.Str:
+			if cv.Kind() == value.Str {
+				vt.kind, vt.b = termBytes, []byte(cv.Str())
+			}
+		case value.Bytes:
+			if cv.Kind() == value.Bytes {
+				vt.kind, vt.b = termBytes, cv.Bytes()
+			}
+		}
+		cp.terms = append(cp.terms, vt)
+		if !seen[ci] {
+			seen[ci] = true
+			cp.cols = append(cp.cols, ci)
+		}
+	}
+	sort.SliceStable(cp.terms, func(a, b int) bool {
+		return cp.terms[a].cost() < cp.terms[b].cost()
+	})
+	return cp, nil
+}
+
+// cost orders terms cheapest-comparison-first.
+func (t *vecTerm) cost() int {
+	switch t.kind {
+	case termIntInt, termIntFloat, termFloatFloat:
+		return 0
+	case termBytes:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Empty reports whether the predicate has no terms (filter is pass-through).
+func (cp *CompiledPred) Empty() bool { return len(cp.terms) == 0 }
+
+// Columns returns the distinct column indexes the filter reads, in first-use
+// order. The scan decodes exactly these before filtering (late
+// materialization decodes the rest only for surviving rows).
+func (cp *CompiledPred) Columns() []int { return cp.cols }
+
+// Filter compacts sel down to the rows of b satisfying the conjunction,
+// reusing sel's backing array, and returns it.
+func (cp *CompiledPred) Filter(b *vec.Batch, sel []int32) []int32 {
+	for i := range cp.terms {
+		if len(sel) == 0 {
+			return sel
+		}
+		sel = cp.terms[i].filter(b, sel)
+	}
+	return sel
+}
+
+// opOK maps a three-way comparison to the term's operator.
+func opOK(op CmpOp, cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// cmpF is value.Compare's float ordering (NaNs sort before everything,
+// including -Inf) — shared, not copied, so the executors cannot drift.
+var cmpF = value.CompareFloats
+
+// filter compacts sel by this term's comparison.
+func (t *vecTerm) filter(b *vec.Batch, sel []int32) []int32 {
+	v := &b.Cols[t.col]
+	out := sel[:0]
+	nulls := v.Nulls.Any()
+	switch t.kind {
+	case termIntInt:
+		xs, c := v.Int64s, t.i
+		for _, i := range sel {
+			if nulls && v.IsNull(int(i)) {
+				continue
+			}
+			x := xs[i]
+			cmp := 0
+			if x < c {
+				cmp = -1
+			} else if x > c {
+				cmp = 1
+			}
+			if opOK(t.op, cmp) {
+				out = append(out, i)
+			}
+		}
+	case termIntFloat:
+		xs, c := v.Int64s, t.f
+		for _, i := range sel {
+			if nulls && v.IsNull(int(i)) {
+				continue
+			}
+			if opOK(t.op, cmpF(float64(xs[i]), c)) {
+				out = append(out, i)
+			}
+		}
+	case termFloatFloat:
+		xs, c := v.Float64s, t.f
+		for _, i := range sel {
+			if nulls && v.IsNull(int(i)) {
+				continue
+			}
+			if opOK(t.op, cmpF(xs[i], c)) {
+				out = append(out, i)
+			}
+		}
+	case termBytes:
+		for _, i := range sel {
+			if nulls && v.IsNull(int(i)) {
+				continue
+			}
+			if opOK(t.op, bytes.Compare(v.BytesAt(int(i)), t.b)) {
+				out = append(out, i)
+			}
+		}
+	default: // termBoxed
+		for _, i := range sel {
+			x := v.Value(int(i))
+			if x.IsNull() {
+				continue
+			}
+			if opOK(t.op, value.Compare(x, t.v)) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,463 @@
+package compress
+
+// Typed decode fast paths: each codec can additionally decode a chunk
+// straight into an unboxed column vector — no value.Value allocation per
+// cell. DecodeVec is the single entry point the segment reader uses; it
+// dispatches to the codec's typed decoder for the column kind and falls
+// back to the boxed Decode (plus a per-value unboxing pass) for codecs or
+// kinds without one, so every registered codec works through the vector
+// path with identical results.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rodentstore/internal/value"
+	"rodentstore/internal/vec"
+)
+
+// Int64Decoder is the typed fast path for Int columns.
+type Int64Decoder interface {
+	// DecodeInt64s appends the chunk's values to dst.
+	DecodeInt64s(src []byte, dst []int64) ([]int64, error)
+}
+
+// Float64Decoder is the typed fast path for Float columns.
+type Float64Decoder interface {
+	// DecodeFloat64s appends the chunk's values to dst.
+	DecodeFloat64s(src []byte, dst []float64) ([]float64, error)
+}
+
+// BoolDecoder is the typed fast path for Bool columns (0/1 into int64s).
+type BoolDecoder interface {
+	// DecodeBools appends the chunk's values to dst as 0/1.
+	DecodeBools(src []byte, dst []int64) ([]int64, error)
+}
+
+// BytesDecoder is the typed fast path for Str and Bytes columns: values are
+// appended to the vector's byte arena without string allocation.
+type BytesDecoder interface {
+	// DecodeBytesVec appends the chunk's values to dst.
+	DecodeBytesVec(src []byte, dst *vec.Vector) error
+}
+
+// DecodeVec decodes one chunk of kind k into dst, which must have been
+// Reset(k). Codecs implementing the typed decoder for k decode without
+// boxing; anything else routes through the boxed Decode adapter.
+func DecodeVec(c Codec, src []byte, k value.Kind, dst *vec.Vector) error {
+	switch k {
+	case value.Int:
+		if d, ok := c.(Int64Decoder); ok {
+			out, err := d.DecodeInt64s(src, dst.Int64s[:0])
+			if err != nil {
+				return err
+			}
+			dst.Int64s = out
+			dst.SyncLen()
+			return nil
+		}
+	case value.Float:
+		if d, ok := c.(Float64Decoder); ok {
+			out, err := d.DecodeFloat64s(src, dst.Float64s[:0])
+			if err != nil {
+				return err
+			}
+			dst.Float64s = out
+			dst.SyncLen()
+			return nil
+		}
+	case value.Bool:
+		if d, ok := c.(BoolDecoder); ok {
+			out, err := d.DecodeBools(src, dst.Int64s[:0])
+			if err != nil {
+				return err
+			}
+			dst.Int64s = out
+			dst.SyncLen()
+			return nil
+		}
+	case value.Str, value.Bytes:
+		if d, ok := c.(BytesDecoder); ok {
+			return d.DecodeBytesVec(src, dst)
+		}
+	}
+	// Fallback adapter: boxed decode, then unbox into the vector.
+	vals, err := c.Decode(src, k)
+	if err != nil {
+		return err
+	}
+	for _, v := range vals {
+		if err := dst.AppendValue(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkHeader parses the leading uvarint row count shared by every codec.
+func chunkHeader(src []byte) (n uint64, off int, err error) {
+	n, off = binary.Uvarint(src)
+	if off <= 0 {
+		return 0, 0, fmt.Errorf("compress: bad block header")
+	}
+	return n, off, nil
+}
+
+// --- None ---
+
+// DecodeInt64s implements Int64Decoder.
+func (None) DecodeInt64s(src []byte, dst []int64) ([]int64, error) {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(src)-off)/8 < n {
+		return nil, fmt.Errorf("compress: short int block")
+	}
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, int64(binary.LittleEndian.Uint64(src[off:])))
+		off += 8
+	}
+	return dst, nil
+}
+
+// DecodeFloat64s implements Float64Decoder.
+func (None) DecodeFloat64s(src []byte, dst []float64) ([]float64, error) {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(src)-off)/8 < n {
+		return nil, fmt.Errorf("compress: short float block")
+	}
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(src[off:])))
+		off += 8
+	}
+	return dst, nil
+}
+
+// DecodeBools implements BoolDecoder.
+func (None) DecodeBools(src []byte, dst []int64) ([]int64, error) {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(src)-off) < n {
+		return nil, fmt.Errorf("compress: short bool block")
+	}
+	for i := uint64(0); i < n; i++ {
+		var x int64
+		if src[off] != 0 {
+			x = 1
+		}
+		dst = append(dst, x)
+		off++
+	}
+	return dst, nil
+}
+
+// DecodeBytesVec implements BytesDecoder.
+func (None) DecodeBytesVec(src []byte, dst *vec.Vector) error {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(src[off:])
+		if sz <= 0 || uint64(len(src)-off-sz) < l {
+			return fmt.Errorf("compress: short byte block")
+		}
+		off += sz
+		dst.AppendBytes(src[off : off+int(l)])
+		off += int(l)
+	}
+	return nil
+}
+
+// --- Delta ---
+
+// deltaWords decodes the delta-of-delta stream into raw uint64 words.
+func deltaWords(src []byte, emit func(uint64)) error {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return fmt.Errorf("compress: bad delta header")
+	}
+	var prev, prevDelta uint64
+	for i := uint64(0); i < n; i++ {
+		var cur uint64
+		switch i {
+		case 0:
+			if len(src[off:]) < 8 {
+				return fmt.Errorf("compress: short delta block")
+			}
+			cur = binary.LittleEndian.Uint64(src[off:])
+			off += 8
+		case 1:
+			d, used := binary.Varint(src[off:])
+			if used <= 0 {
+				return fmt.Errorf("compress: bad delta varint")
+			}
+			off += used
+			prevDelta = uint64(d)
+			cur = prev + prevDelta
+		default:
+			dd, used := binary.Varint(src[off:])
+			if used <= 0 {
+				return fmt.Errorf("compress: bad delta varint")
+			}
+			off += used
+			prevDelta += uint64(dd)
+			cur = prev + prevDelta
+		}
+		prev = cur
+		emit(cur)
+	}
+	return nil
+}
+
+// DecodeInt64s implements Int64Decoder.
+func (Delta) DecodeInt64s(src []byte, dst []int64) ([]int64, error) {
+	err := deltaWords(src, func(u uint64) { dst = append(dst, int64(u)) })
+	return dst, err
+}
+
+// DecodeFloat64s implements Float64Decoder.
+func (Delta) DecodeFloat64s(src []byte, dst []float64) ([]float64, error) {
+	err := deltaWords(src, func(u uint64) { dst = append(dst, math.Float64frombits(u)) })
+	return dst, err
+}
+
+// --- RLE ---
+
+// rleRuns decodes the run stream, calling emit(value bytes, run length).
+// The value bytes are the plain encoding of one value of kind k.
+func rleRuns(src []byte, k value.Kind, emit func([]byte, uint64) error) error {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return fmt.Errorf("compress: bad rle header")
+	}
+	var total uint64
+	for total < n {
+		run, used := binary.Uvarint(src[off:])
+		if used <= 0 {
+			return fmt.Errorf("compress: bad rle run length")
+		}
+		off += used
+		var vlen int
+		switch k {
+		case value.Int, value.Float:
+			vlen = 8
+		case value.Bool:
+			vlen = 1
+		case value.Str, value.Bytes:
+			l, sz := binary.Uvarint(src[off:])
+			if sz <= 0 {
+				return fmt.Errorf("compress: bad rle value")
+			}
+			vlen = sz + int(l)
+		default:
+			return fmt.Errorf("compress: rle typed decode unsupported for %s", k)
+		}
+		if off+vlen > len(src) {
+			return fmt.Errorf("compress: short rle block")
+		}
+		if err := emit(src[off:off+vlen], run); err != nil {
+			return err
+		}
+		off += vlen
+		total += run
+	}
+	if total != n {
+		return fmt.Errorf("compress: rle runs exceed block size")
+	}
+	return nil
+}
+
+// DecodeInt64s implements Int64Decoder.
+func (RLE) DecodeInt64s(src []byte, dst []int64) ([]int64, error) {
+	err := rleRuns(src, value.Int, func(b []byte, run uint64) error {
+		x := int64(binary.LittleEndian.Uint64(b))
+		for r := uint64(0); r < run; r++ {
+			dst = append(dst, x)
+		}
+		return nil
+	})
+	return dst, err
+}
+
+// DecodeFloat64s implements Float64Decoder.
+func (RLE) DecodeFloat64s(src []byte, dst []float64) ([]float64, error) {
+	err := rleRuns(src, value.Float, func(b []byte, run uint64) error {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		for r := uint64(0); r < run; r++ {
+			dst = append(dst, x)
+		}
+		return nil
+	})
+	return dst, err
+}
+
+// DecodeBools implements BoolDecoder.
+func (RLE) DecodeBools(src []byte, dst []int64) ([]int64, error) {
+	err := rleRuns(src, value.Bool, func(b []byte, run uint64) error {
+		var x int64
+		if b[0] != 0 {
+			x = 1
+		}
+		for r := uint64(0); r < run; r++ {
+			dst = append(dst, x)
+		}
+		return nil
+	})
+	return dst, err
+}
+
+// DecodeBytesVec implements BytesDecoder.
+func (RLE) DecodeBytesVec(src []byte, dst *vec.Vector) error {
+	return rleRuns(src, value.Str, func(b []byte, run uint64) error {
+		l, sz := binary.Uvarint(b)
+		payload := b[sz : sz+int(l)]
+		for r := uint64(0); r < run; r++ {
+			dst.AppendBytes(payload)
+		}
+		return nil
+	})
+}
+
+// --- Dict ---
+
+// dictHeader parses counts and returns the offset of the dictionary values.
+func dictHeader(src []byte) (n, nd uint64, off int, err error) {
+	n, off, err = chunkHeader(src)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("compress: bad dict header")
+	}
+	nd, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return 0, 0, 0, fmt.Errorf("compress: bad dict size")
+	}
+	return n, nd, off + sz, nil
+}
+
+// DecodeInt64s implements Int64Decoder.
+func (Dict) DecodeInt64s(src []byte, dst []int64) ([]int64, error) {
+	n, nd, off, err := dictHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(src)-off)/8 < nd {
+		return nil, fmt.Errorf("compress: short dict block")
+	}
+	dict := make([]int64, nd)
+	for i := range dict {
+		dict[i] = int64(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+	}
+	return dictGather(src[off:], n, dict, dst)
+}
+
+// DecodeFloat64s implements Float64Decoder.
+func (Dict) DecodeFloat64s(src []byte, dst []float64) ([]float64, error) {
+	n, nd, off, err := dictHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(src)-off)/8 < nd {
+		return nil, fmt.Errorf("compress: short dict block")
+	}
+	dict := make([]float64, nd)
+	for i := range dict {
+		dict[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+	}
+	return dictGather(src[off:], n, dict, dst)
+}
+
+// dictGather appends dict[index] for each of the n uvarint indexes in src.
+func dictGather[T any](src []byte, n uint64, dict []T, dst []T) ([]T, error) {
+	off := 0
+	for i := uint64(0); i < n; i++ {
+		idx, used := binary.Uvarint(src[off:])
+		if used <= 0 || idx >= uint64(len(dict)) {
+			return nil, fmt.Errorf("compress: bad dict index")
+		}
+		off += used
+		dst = append(dst, dict[idx])
+	}
+	return dst, nil
+}
+
+// DecodeBytesVec implements BytesDecoder.
+func (Dict) DecodeBytesVec(src []byte, dst *vec.Vector) error {
+	n, nd, off, err := dictHeader(src)
+	if err != nil {
+		return err
+	}
+	dict := make([][]byte, nd)
+	for i := range dict {
+		l, sz := binary.Uvarint(src[off:])
+		if sz <= 0 || uint64(len(src)-off-sz) < l {
+			return fmt.Errorf("compress: short dict block")
+		}
+		off += sz
+		dict[i] = src[off : off+int(l)]
+		off += int(l)
+	}
+	for i := uint64(0); i < n; i++ {
+		idx, used := binary.Uvarint(src[off:])
+		if used <= 0 || idx >= uint64(len(dict)) {
+			return fmt.Errorf("compress: bad dict index")
+		}
+		off += used
+		dst.AppendBytes(dict[idx])
+	}
+	return nil
+}
+
+// --- BitPack ---
+
+// DecodeInt64s implements Int64Decoder.
+func (BitPack) DecodeInt64s(src []byte, dst []int64) ([]int64, error) {
+	n, off, err := chunkHeader(src)
+	if err != nil {
+		return nil, fmt.Errorf("compress: bad bitpack header")
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	lo, used := binary.Varint(src[off:])
+	if used <= 0 {
+		return nil, fmt.Errorf("compress: bad bitpack base")
+	}
+	off += used
+	if off >= len(src) {
+		return nil, fmt.Errorf("compress: short bitpack block")
+	}
+	width := int(src[off])
+	off++
+	if width == 0 {
+		for i := uint64(0); i < n; i++ {
+			dst = append(dst, lo)
+		}
+		return dst, nil
+	}
+	var acc uint64
+	bits := 0
+	mask := uint64(1)<<width - 1
+	for i := uint64(0); i < n; i++ {
+		for bits < width {
+			if off >= len(src) {
+				return nil, fmt.Errorf("compress: short bitpack block")
+			}
+			acc |= uint64(src[off]) << bits
+			off++
+			bits += 8
+		}
+		dst = append(dst, lo+int64(acc&mask))
+		acc >>= width
+		bits -= width
+	}
+	return dst, nil
+}

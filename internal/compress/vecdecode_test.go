@@ -1,0 +1,163 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rodentstore/internal/value"
+	"rodentstore/internal/vec"
+)
+
+// randVals builds a random null-free column of kind k with plenty of
+// repetition (so rle/dict have real runs) and extremes (so delta/bitpack hit
+// their corner cases).
+func randVals(r *rand.Rand, k value.Kind, n int) []value.Value {
+	out := make([]value.Value, n)
+	for i := range out {
+		switch k {
+		case value.Int:
+			switch r.Intn(4) {
+			case 0:
+				out[i] = value.NewInt(int64(r.Intn(5)))
+			case 1:
+				out[i] = value.NewInt(r.Int63() - r.Int63())
+			default:
+				out[i] = value.NewInt(int64(i * 3))
+			}
+		case value.Float:
+			switch r.Intn(5) {
+			case 0:
+				out[i] = value.NewFloat(math.NaN())
+			case 1:
+				out[i] = value.NewFloat(math.Inf(1))
+			default:
+				out[i] = value.NewFloat(r.NormFloat64() * 1e3)
+			}
+		case value.Bool:
+			out[i] = value.NewBool(r.Intn(2) == 0)
+		case value.Str:
+			out[i] = value.NewString(fmt.Sprintf("s%d", r.Intn(6)))
+		case value.Bytes:
+			b := make([]byte, r.Intn(6))
+			r.Read(b)
+			out[i] = value.NewBytes(b)
+		}
+	}
+	return out
+}
+
+// kindsFor lists the kinds a codec accepts.
+func kindsFor(name string) []value.Kind {
+	switch name {
+	case "delta":
+		return []value.Kind{value.Int, value.Float}
+	case "bitpack":
+		return []value.Kind{value.Int}
+	default:
+		return []value.Kind{value.Int, value.Float, value.Bool, value.Str, value.Bytes}
+	}
+}
+
+// TestDecodeVecMatchesBoxed checks the typed fast paths (and the fallback
+// adapter) against the boxed Decode for every codec and kind.
+func TestDecodeVecMatchesBoxed(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, name := range Names() {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range kindsFor(name) {
+			for _, n := range []int{0, 1, 7, 300} {
+				vals := randVals(r, k, n)
+				chunk, err := c.Encode(nil, k, vals)
+				if err != nil {
+					t.Fatalf("%s/%s: encode: %v", name, k, err)
+				}
+				boxed, err := c.Decode(chunk, k)
+				if err != nil {
+					t.Fatalf("%s/%s: decode: %v", name, k, err)
+				}
+				var v vec.Vector
+				v.Reset(k)
+				if err := DecodeVec(c, chunk, k, &v); err != nil {
+					t.Fatalf("%s/%s: DecodeVec: %v", name, k, err)
+				}
+				if v.Len() != len(boxed) {
+					t.Fatalf("%s/%s: vec len %d, boxed len %d", name, k, v.Len(), len(boxed))
+				}
+				for i := range boxed {
+					got, want := v.Value(i), boxed[i]
+					// NaN != NaN under Compare? Compare treats NaNs equal;
+					// use it as the equality oracle like the scan does.
+					if !value.Equal(got, want) {
+						t.Fatalf("%s/%s row %d: got %v want %v", name, k, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// boxedOnly wraps a codec hiding its typed decoders, forcing DecodeVec down
+// the fallback adapter.
+type boxedOnly struct{ c Codec }
+
+func (b boxedOnly) Name() string { return b.c.Name() }
+func (b boxedOnly) Encode(dst []byte, k value.Kind, vals []value.Value) ([]byte, error) {
+	return b.c.Encode(dst, k, vals)
+}
+func (b boxedOnly) Decode(src []byte, k value.Kind) ([]value.Value, error) {
+	return b.c.Decode(src, k)
+}
+
+func TestDecodeVecFallbackAdapter(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, k := range []value.Kind{value.Int, value.Float, value.Str, value.Bool, value.Bytes} {
+		vals := randVals(r, k, 50)
+		chunk, err := (None{}).Encode(nil, k, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v vec.Vector
+		v.Reset(k)
+		if err := DecodeVec(boxedOnly{None{}}, chunk, k, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Len() != len(vals) {
+			t.Fatalf("%s: len %d want %d", k, v.Len(), len(vals))
+		}
+		for i := range vals {
+			if !value.Equal(v.Value(i), vals[i]) {
+				t.Fatalf("%s row %d: got %v want %v", k, i, v.Value(i), vals[i])
+			}
+		}
+	}
+}
+
+// TestDecodeVecCorruptInputs checks the typed paths error (rather than
+// panic or truncate) on the corrupt inputs the boxed paths reject.
+func TestDecodeVecCorruptInputs(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := Lookup(name)
+		for _, k := range kindsFor(name) {
+			vals := randVals(rand.New(rand.NewSource(3)), k, 20)
+			chunk, err := c.Encode(nil, k, vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cut := 1; cut < len(chunk); cut += 3 {
+				truncated := chunk[:len(chunk)-cut]
+				_, boxedErr := c.Decode(truncated, k)
+				var v vec.Vector
+				v.Reset(k)
+				vecErr := DecodeVec(c, truncated, k, &v)
+				if boxedErr != nil && vecErr == nil && v.Len() == len(vals) {
+					t.Fatalf("%s/%s cut=%d: boxed errored (%v), vec decoded fully", name, k, cut, boxedErr)
+				}
+			}
+		}
+	}
+}

@@ -268,6 +268,11 @@ type Reader struct {
 	codecs   []compress.Codec
 	lastPage pager.PageID
 	lastBuf  []byte
+	// rawBuf and view are the vectorized read path's reusable scratch: View
+	// fetches block bytes into rawBuf and parses the chunk directory into
+	// view, so steady-state block reads allocate nothing.
+	rawBuf []byte
+	view   BlockView
 }
 
 // NewReader opens a segment for reading.
@@ -308,6 +313,12 @@ func (r *Reader) NumBlocks() int { return len(r.meta.Blocks) }
 // boundary page twice no matter how small the source's cache is. Over a
 // plain PageSource, whole pages are read with the same lookbehind.
 func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
+	return r.readRangeInto(make([]byte, 0, n), off, n)
+}
+
+// readRangeInto is readRange appending into a caller-supplied buffer (the
+// vectorized path reuses one buffer across blocks).
+func (r *Reader) readRangeInto(out []byte, off uint64, n uint32) ([]byte, error) {
 	if off+uint64(n) > r.meta.UsedBytes {
 		return nil, fmt.Errorf("segment: range [%d,%d) beyond used bytes %d", off, off+uint64(n), r.meta.UsedBytes)
 	}
@@ -315,7 +326,6 @@ func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
 	first := off / payload
 	last := (off + uint64(n) - 1) / payload
 	leaser, _ := r.file.(PageLeaser)
-	out := make([]byte, 0, n)
 	for p := first; p <= last; p++ {
 		id := r.meta.ExtentStart + pager.PageID(p)
 		lo := uint64(0)
@@ -356,62 +366,32 @@ func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
 	return out, nil
 }
 
-// ReadBlock decodes block i into column vectors. wantCols selects columns
-// by index (nil = all); unselected columns return nil vectors but their
-// bytes are still fetched with the block (they share its pages — projecting
-// saves CPU, not I/O; to save I/O, store the column in its own segment).
+// ReadBlock decodes block i into boxed column vectors. wantCols selects
+// columns by index (nil = all); unselected columns return nil vectors but
+// their bytes are still fetched with the block (they share its pages —
+// projecting saves CPU, not I/O; to save I/O, store the column in its own
+// segment). It is View plus an eager boxed decode of each wanted chunk, so
+// the block parser (and its metadata row-count check) exists exactly once.
 func (r *Reader) ReadBlock(i int, wantCols []int) ([][]value.Value, error) {
-	if i < 0 || i >= len(r.meta.Blocks) {
-		return nil, fmt.Errorf("segment: block %d out of range", i)
-	}
-	bm := r.meta.Blocks[i]
-	raw, err := r.readRange(bm.Off, bm.Len)
+	bv, err := r.View(i)
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < 12 {
-		return nil, fmt.Errorf("segment: block %d truncated", i)
-	}
-	bodyLen := binary.LittleEndian.Uint32(raw)
-	if uint32(len(raw)) < 4+bodyLen {
-		return nil, fmt.Errorf("segment: block %d short body", i)
-	}
-	body := raw[4 : 4+bodyLen]
-	// cell (8 bytes) then nrows.
-	if len(body) < 9 {
-		return nil, fmt.Errorf("segment: block %d corrupt header", i)
-	}
-	nrows, sz := binary.Uvarint(body[8:])
-	if sz <= 0 {
-		return nil, fmt.Errorf("segment: block %d bad row count", i)
-	}
-	off := 8 + sz
-
 	want := make(map[int]bool, len(wantCols))
 	for _, c := range wantCols {
 		want[c] = true
 	}
 	out := make([][]value.Value, len(r.spec.Fields))
 	for c := range r.spec.Fields {
-		if off+4 > len(body) {
-			return nil, fmt.Errorf("segment: block %d truncated at column %d", i, c)
-		}
-		chunkLen := binary.LittleEndian.Uint32(body[off:])
-		off += 4
-		if off+int(chunkLen) > len(body) {
-			return nil, fmt.Errorf("segment: block %d column %d overruns body", i, c)
-		}
-		chunk := body[off : off+int(chunkLen)]
-		off += int(chunkLen)
 		if wantCols != nil && !want[c] {
 			continue
 		}
-		vals, err := r.codecs[c].Decode(chunk, r.spec.Fields[c].Type)
+		vals, err := r.codecs[c].Decode(bv.chunks[c], r.spec.Fields[c].Type)
 		if err != nil {
 			return nil, fmt.Errorf("segment: block %d field %q: %w", i, r.spec.Fields[c].Name, err)
 		}
-		if uint64(len(vals)) != nrows {
-			return nil, fmt.Errorf("segment: block %d field %q: %d values, %d rows", i, r.spec.Fields[c].Name, len(vals), nrows)
+		if len(vals) != bv.nrows {
+			return nil, fmt.Errorf("segment: block %d field %q: %d values, %d rows", i, r.spec.Fields[c].Name, len(vals), bv.nrows)
 		}
 		out[c] = vals
 	}

@@ -1,0 +1,135 @@
+package segment
+
+// Vectorized block reads: View fetches one block's bytes (a single
+// readRange, so page/seek accounting is identical to ReadBlock) and exposes
+// the column chunks for lazy per-column typed decoding. The scan layer uses
+// it for late materialization — decode predicate columns, filter, and only
+// then decode the projected columns, or skip them entirely when no row
+// survives. ReadBlockVec is the eager wrapper: one call, one Batch.
+//
+// The view and the reader's raw buffer are reused across calls: a view (and
+// any chunk slices it handed out) is valid only until the next View or
+// ReadBlock call on the same reader. Decoded vectors copy out of the raw
+// buffer, so batches outlive the view.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rodentstore/internal/compress"
+	"rodentstore/internal/vec"
+)
+
+// BlockView is one fetched block, ready for per-column decode.
+type BlockView struct {
+	r      *Reader
+	idx    int
+	nrows  int
+	cell   uint64
+	chunks [][]byte // per spec column, aliasing the reader's raw buffer
+}
+
+// View fetches block i (one contiguous range read, same I/O accounting as
+// ReadBlock) and parses its chunk directory. The returned view aliases the
+// reader's reusable buffer: it is invalidated by the next View or ReadBlock
+// on this reader.
+func (r *Reader) View(i int) (*BlockView, error) {
+	if i < 0 || i >= len(r.meta.Blocks) {
+		return nil, fmt.Errorf("segment: block %d out of range", i)
+	}
+	bm := r.meta.Blocks[i]
+	raw, err := r.readRangeInto(r.rawBuf[:0], bm.Off, bm.Len)
+	if err != nil {
+		return nil, err
+	}
+	r.rawBuf = raw
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("segment: block %d truncated", i)
+	}
+	bodyLen := binary.LittleEndian.Uint32(raw)
+	if uint32(len(raw)) < 4+bodyLen {
+		return nil, fmt.Errorf("segment: block %d short body", i)
+	}
+	body := raw[4 : 4+bodyLen]
+	if len(body) < 9 {
+		return nil, fmt.Errorf("segment: block %d corrupt header", i)
+	}
+	cell := binary.LittleEndian.Uint64(body)
+	nrows, sz := binary.Uvarint(body[8:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("segment: block %d bad row count", i)
+	}
+	// Block metadata is the authoritative row count: a chunk that decodes to
+	// a different length is corruption, caught in DecodeCol.
+	if int64(nrows) != int64(bm.Rows) {
+		return nil, fmt.Errorf("segment: block %d holds %d rows, metadata says %d", i, nrows, bm.Rows)
+	}
+	off := 8 + sz
+	bv := &r.view
+	bv.r, bv.idx, bv.nrows, bv.cell = r, i, int(nrows), cell
+	bv.chunks = bv.chunks[:0]
+	for c := range r.spec.Fields {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("segment: block %d truncated at column %d", i, c)
+		}
+		chunkLen := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		if off+int(chunkLen) > len(body) {
+			return nil, fmt.Errorf("segment: block %d column %d overruns body", i, c)
+		}
+		bv.chunks = append(bv.chunks, body[off:off+int(chunkLen)])
+		off += int(chunkLen)
+	}
+	return bv, nil
+}
+
+// Rows returns the block's row count (from segment metadata).
+func (bv *BlockView) Rows() int { return bv.nrows }
+
+// Cell returns the block's grid cell (NoCell when ungridded).
+func (bv *BlockView) Cell() uint64 { return bv.cell }
+
+// DecodeCol decodes column c into dst (which is Reset first), using the
+// codec's typed fast path when it has one. The decoded length is checked
+// against the block's metadata row count.
+func (bv *BlockView) DecodeCol(c int, dst *vec.Vector) error {
+	if c < 0 || c >= len(bv.chunks) {
+		return fmt.Errorf("segment: column %d out of range", c)
+	}
+	r := bv.r
+	dst.Reset(r.spec.Fields[c].Type)
+	if err := compress.DecodeVec(r.codecs[c], bv.chunks[c], r.spec.Fields[c].Type, dst); err != nil {
+		return fmt.Errorf("segment: block %d field %q: %w", bv.idx, r.spec.Fields[c].Name, err)
+	}
+	if dst.Len() != bv.nrows {
+		return fmt.Errorf("segment: block %d field %q: %d values, %d rows",
+			bv.idx, r.spec.Fields[c].Name, dst.Len(), bv.nrows)
+	}
+	return nil
+}
+
+// ReadBlockVec decodes block i's wanted columns (nil = all) into dst, whose
+// schema must list the wanted fields in spec order. One range read per
+// block, typed decode per column; dst's buffers are reused across calls, so
+// pairing it with a vec.Pool gives allocation-free steady-state scans.
+func (r *Reader) ReadBlockVec(i int, wantCols []int, dst *vec.Batch) error {
+	bv, err := r.View(i)
+	if err != nil {
+		return err
+	}
+	if wantCols == nil {
+		wantCols = make([]int, len(r.spec.Fields))
+		for c := range wantCols {
+			wantCols[c] = c
+		}
+	}
+	if dst.Schema().Arity() != len(wantCols) {
+		return fmt.Errorf("segment: batch arity %d for %d wanted columns", dst.Schema().Arity(), len(wantCols))
+	}
+	for k, c := range wantCols {
+		if err := bv.DecodeCol(c, &dst.Cols[k]); err != nil {
+			return err
+		}
+	}
+	return dst.SetLen(bv.nrows)
+}

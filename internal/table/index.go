@@ -267,8 +267,8 @@ func (c *Cursor) fetchPositions(positions []int64) ([]value.Row, error) {
 		}
 		for pi < len(positions) && positions[pi] < blockHi {
 			off := int(positions[pi] - blockLo)
-			if off < len(c.buf) {
-				out = append(out, c.buf[off])
+			if row, ok := c.blockRow(off); ok {
+				out = append(out, row)
 			}
 			pi++
 		}

@@ -13,6 +13,7 @@ import (
 	"rodentstore/internal/transforms"
 	"rodentstore/internal/txn"
 	"rodentstore/internal/value"
+	"rodentstore/internal/vec"
 )
 
 // ScanOptions are the optional projection, range predicate and sort order
@@ -39,6 +40,11 @@ type ScanOptions struct {
 	// Workers bounds the parallel worker pool (0 = GOMAXPROCS). Ignored
 	// unless Parallel is set.
 	Workers int
+	// NoVectorize forces the boxed row-at-a-time block path instead of the
+	// vectorized (typed column batch) executor. Results are identical; the
+	// flag exists for differential tests and as the Ext-11 benchmark
+	// baseline.
+	NoVectorize bool
 }
 
 // reorganizeIfNeeded applies a pending lazy reorganization under the
@@ -74,7 +80,7 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 			needsReorg = true // reorganize needs the exclusive lock; retry below
 			return nil
 		}
-		cur, err = e.scanStored2(tab, opts.Fields, opts.Pred, false, opts.NoZonePrune)
+		cur, err = e.scanStoredOpts(tab, opts.Fields, opts.Pred, storedScanOpts{noZone: opts.NoZonePrune, noVec: opts.NoVectorize})
 		if err != nil {
 			return err
 		}
@@ -243,19 +249,42 @@ type part struct {
 	rows     int64
 }
 
+// batchPool recycles column batches across blocks, cursors and parallel
+// scan workers. sync.Pool-backed, so it is safe for concurrent use and
+// sheds memory under GC pressure.
+var batchPool = vec.NewPool()
+
 // Cursor iterates rows of a scan (paper §4.1 next). Cursors are not safe
 // for concurrent use (the parallel scanner parallelizes *inside* one
 // cursor; concurrent queries each open their own).
+//
+// Two block executors live behind the cursor. The default vectorized path
+// decodes blocks into typed column batches (internal/vec), filters with a
+// compiled predicate over a selection vector, and late-materializes only
+// the projected columns of surviving rows; NextBatch exposes those batches
+// directly, and Next boxes one row at a time out of the current batch. The
+// boxed path (ScanOptions.NoVectorize) is the original row-at-a-time loop,
+// kept as the differential-test oracle and benchmark baseline. Both paths
+// issue identical page reads in identical order, so the paper-figure
+// page/seek accounting does not depend on the executor.
 type Cursor struct {
-	schema    *value.Schema // output schema (projection applied)
-	decoded   *value.Schema // decoded schema (projection ∪ predicate fields)
-	outIdx    []int         // positions of output fields within decoded rows
-	pred      algebra.Predicate
+	schema   *value.Schema // output schema (projection applied)
+	decoded  *value.Schema // decoded schema (projection ∪ predicate fields)
+	outIdx   []int         // positions of output fields within decoded rows
+	identity bool          // outIdx is the identity over decoded
+	pred     algebra.Predicate
+	// filter is the compiled vectorized predicate; nil selects the boxed
+	// row-at-a-time path.
+	filter    *algebra.CompiledPred
 	parts     []*part
 	blocks    []blockRef
 	cur       int
 	buf       []value.Row
 	bufPos    int
+	batch     *vec.Batch // current block's batch (vectorized path)
+	batchPos  int
+	vs        vecScratch // reusable vectorized-decode scratch (serial path)
+	dec       rowDecoder // reusable boxed-decode scratch (serial path)
 	exhausted bool
 	// par, when non-nil, replaces the serial block loop with the ordered
 	// parallel pipeline.
@@ -278,6 +307,8 @@ func (c *Cursor) Close() {
 	c.exhausted = true
 	c.buf = nil
 	c.sorted = nil
+	batchPool.Put(c.batch)
+	c.batch = nil
 }
 
 // Next returns the next row, reporting ok=false at the end (paper §4.1).
@@ -299,34 +330,118 @@ func (c *Cursor) Next() (value.Row, bool, error) {
 			c.bufPos++
 			return r, true, nil
 		}
-		if c.par != nil {
-			rows, ok, err := c.par.next()
-			if err != nil {
-				c.exhausted = true
-				return nil, false, err
-			}
-			if !ok {
-				c.exhausted = true
-				return nil, false, nil
-			}
-			c.buf, c.bufPos = rows, 0
-			continue
+		if c.batch != nil && c.batchPos < c.batch.Len() {
+			r := c.batch.Row(c.batchPos)
+			c.batchPos++
+			return r, true, nil
 		}
-		if c.cur >= len(c.blocks) {
-			c.exhausted = true
-			return nil, false, nil
-		}
-		if err := c.loadBlock(c.blocks[c.cur]); err != nil {
+		if err := c.advance(); err != nil {
 			return nil, false, err
 		}
-		c.cur++
 	}
 }
 
-// loadBlock decodes one block, filters, and projects into c.buf.
+// NextBatch returns the next non-empty batch of rows as typed column
+// vectors, reporting ok=false at the end. It is the vectorized counterpart
+// of Next: iterating batches skips the per-row boxing entirely. The
+// returned batch (and any slices taken from it) is valid only until the
+// next Next/NextBatch/Close call — copy out what must survive. Mixing Next
+// and NextBatch is allowed; NextBatch first drains whatever Next has not
+// consumed of the current block.
+func (c *Cursor) NextBatch() (*vec.Batch, bool, error) {
+	if c.sorted != nil {
+		if c.sortedPos >= len(c.sorted) {
+			return nil, false, nil
+		}
+		b, err := vec.FromRows(c.schema, c.sorted[c.sortedPos:])
+		c.sortedPos = len(c.sorted)
+		if err != nil {
+			return nil, false, err
+		}
+		return b, true, nil
+	}
+	for {
+		if c.exhausted {
+			return nil, false, nil
+		}
+		if c.bufPos < len(c.buf) {
+			b, err := vec.FromRows(c.schema, c.buf[c.bufPos:])
+			c.bufPos = len(c.buf)
+			if err != nil {
+				return nil, false, err
+			}
+			return b, true, nil
+		}
+		if c.batch != nil && c.batchPos < c.batch.Len() {
+			if c.batchPos == 0 {
+				b := c.batch
+				c.batchPos = b.Len()
+				return b, true, nil
+			}
+			// Next consumed a prefix; hand out the boxed remainder.
+			rem := make([]value.Row, 0, c.batch.Len()-c.batchPos)
+			for i := c.batchPos; i < c.batch.Len(); i++ {
+				rem = append(rem, c.batch.Row(i))
+			}
+			c.batchPos = c.batch.Len()
+			b, err := vec.FromRows(c.batch.Schema(), rem)
+			if err != nil {
+				return nil, false, err
+			}
+			return b, true, nil
+		}
+		if err := c.advance(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// advance fetches the next block's rows into c.buf or c.batch, marking the
+// cursor exhausted at the end of the block list (or parallel stream).
+func (c *Cursor) advance() error {
+	if c.par != nil {
+		res, ok, err := c.par.next()
+		if err != nil {
+			c.exhausted = true
+			return err
+		}
+		if !ok {
+			c.exhausted = true
+			return nil
+		}
+		if res.batch != nil {
+			batchPool.Put(c.batch)
+			c.batch, c.batchPos = res.batch, 0
+		} else {
+			c.buf, c.bufPos = res.rows, 0
+		}
+		return nil
+	}
+	if c.cur >= len(c.blocks) {
+		c.exhausted = true
+		return nil
+	}
+	if err := c.loadBlock(c.blocks[c.cur]); err != nil {
+		return err
+	}
+	c.cur++
+	return nil
+}
+
+// loadBlock decodes one block, filters, and projects into c.batch
+// (vectorized path) or c.buf (boxed path).
 func (c *Cursor) loadBlock(ref blockRef) error {
 	p := c.parts[ref.part]
-	rows, err := decodeBlockRows(p, p.readers, ref.block, c.decoded, c.pred, c.outIdx)
+	if c.filter != nil {
+		batch, err := decodeBlockVec(p, p.readers, ref.block, c.decoded, c.schema, c.filter, c.outIdx, c.identity, &c.vs)
+		if err != nil {
+			return err
+		}
+		batchPool.Put(c.batch)
+		c.batch, c.batchPos = batch, 0
+		return nil
+	}
+	rows, err := c.dec.decodeBlockRows(p, p.readers, ref.block, c.decoded, c.pred, c.outIdx, c.identity)
 	if err != nil {
 		return err
 	}
@@ -334,15 +449,61 @@ func (c *Cursor) loadBlock(ref blockRef) error {
 	return nil
 }
 
+// blockRow returns one row of the just-loaded block by in-block offset. It
+// abstracts over the batch/buf representations for the positional paths
+// (seekRow, fetchPositions), which always run with the true predicate, so
+// offset == stored position within the block.
+func (c *Cursor) blockRow(off int) (value.Row, bool) {
+	if c.batch != nil {
+		if off >= c.batch.Len() {
+			return nil, false
+		}
+		return c.batch.Row(off), true
+	}
+	if off >= len(c.buf) {
+		return nil, false
+	}
+	return c.buf[off], true
+}
+
+// skipTo positions the in-block read offset (after loadBlock).
+func (c *Cursor) skipTo(off int) {
+	if c.batch != nil {
+		c.batchPos = off
+	} else {
+		c.bufPos = off
+	}
+}
+
+// blockRowCount returns the metadata row count of one block of a part —
+// the authoritative count every decoded column must match.
+func blockRowCount(p *part, block int) int {
+	return p.entries[firstReadSeg(p)].Meta.Blocks[block].Rows
+}
+
+// rowDecoder is the boxed row-at-a-time block decoder. The struct holds
+// per-goroutine scratch (the per-segment column slabs) so steady-state
+// block decodes reuse buffers instead of reallocating them; the serial
+// cursor owns one and each parallel worker owns its own.
+type rowDecoder struct {
+	colsBySeg [][][]value.Value
+}
+
 // decodeBlockRows decodes one block of a part through the given readers
 // (which must belong to the calling goroutine), filters with pred, and
-// projects to the output columns. It is the shared core of the serial and
-// parallel block paths.
-func decodeBlockRows(p *part, readers []*segment.Reader, block int, decoded *value.Schema, pred algebra.Predicate, outIdx []int) ([]value.Row, error) {
+// projects to the output columns. It is the boxed core of the serial and
+// parallel block paths. The row count comes from block metadata; a decoded
+// column of any other length — including a shorter column from another
+// segment of the part — is an error, never a silent truncation.
+func (d *rowDecoder) decodeBlockRows(p *part, readers []*segment.Reader, block int, decoded *value.Schema, pred algebra.Predicate, outIdx []int, identity bool) ([]value.Row, error) {
 	// Decode needed columns from each needed segment.
-	colsBySeg := make([][][]value.Value, len(p.entries))
-	var nrows int
+	if cap(d.colsBySeg) < len(p.entries) {
+		d.colsBySeg = make([][][]value.Value, len(p.entries))
+	}
+	colsBySeg := d.colsBySeg[:len(p.entries)]
+	nrows := blockRowCount(p, block)
 	for si, r := range readers {
+		colsBySeg[si] = nil
 		if r == nil {
 			continue
 		}
@@ -353,8 +514,9 @@ func decodeBlockRows(p *part, readers []*segment.Reader, block int, decoded *val
 		}
 		colsBySeg[si] = cols
 		for _, w := range want {
-			if cols[w] != nil {
-				nrows = len(cols[w])
+			if cols[w] != nil && len(cols[w]) != nrows {
+				return nil, fmt.Errorf("table: block %d: segment %d column %d holds %d rows, block metadata says %d",
+					block, si, w, len(cols[w]), nrows)
 			}
 		}
 	}
@@ -368,6 +530,12 @@ func decodeBlockRows(p *part, readers []*segment.Reader, block int, decoded *val
 		if !pred.IsTrue() && !pred.Eval(decoded, row) {
 			continue
 		}
+		if identity {
+			// The decoded row already is the output row; no second
+			// allocation-and-copy.
+			rows = append(rows, row)
+			continue
+		}
 		out := make(value.Row, len(outIdx))
 		for oi, di := range outIdx {
 			out[oi] = row[di]
@@ -377,11 +545,144 @@ func decodeBlockRows(p *part, readers []*segment.Reader, block int, decoded *val
 	return rows, nil
 }
 
+// vecScratch is one goroutine's reusable vectorized-decode state: the
+// selection buffer, the per-segment view pointers and the decoded-column
+// marks. The serial cursor owns one and each parallel worker owns its own,
+// so steady-state block decodes allocate nothing beyond pooled batches.
+type vecScratch struct {
+	sel   []int32
+	views []*segment.BlockView
+	done  []bool
+}
+
+// decodeBlockVec is the vectorized block decoder: one range read per
+// segment (same I/O accounting as the boxed path), typed column decode
+// with no per-cell boxing, selection-vector filtering, and late
+// materialization — predicate columns decode first, and when no row
+// survives the remaining columns are never decoded at all. When every row
+// survives, projected columns decode straight into the output batch (and
+// already-decoded predicate columns are swapped in), so the full-selection
+// path copies nothing. The returned batch comes from batchPool.
+func decodeBlockVec(p *part, readers []*segment.Reader, block int, decoded, outSchema *value.Schema, filter *algebra.CompiledPred, outIdx []int, identity bool, vs *vecScratch) (*vec.Batch, error) {
+	nrows := blockRowCount(p, block)
+	// Fetch each needed segment's block bytes (views share the readers'
+	// reusable buffers; all decoding below happens before the next block).
+	if cap(vs.views) < len(p.entries) {
+		vs.views = make([]*segment.BlockView, len(p.entries))
+	}
+	views := vs.views[:len(p.entries)]
+	for si, r := range readers {
+		views[si] = nil
+		if r == nil {
+			continue
+		}
+		bv, err := r.View(block)
+		if err != nil {
+			return nil, err
+		}
+		if bv.Rows() != nrows {
+			return nil, fmt.Errorf("table: block %d: segment %d holds %d rows, block metadata says %d",
+				block, si, bv.Rows(), nrows)
+		}
+		views[si] = bv
+	}
+	decodeInto := func(di int, dst *vec.Vector) error {
+		loc := p.fieldSeg[decoded.Fields[di].Name]
+		return views[loc[0]].DecodeCol(loc[1], dst)
+	}
+	dec := batchPool.Get(decoded)
+	if cap(vs.done) < decoded.Arity() {
+		vs.done = make([]bool, decoded.Arity())
+	}
+	done := vs.done[:decoded.Arity()]
+	for i := range done {
+		done[i] = false
+	}
+	// Phase 1: predicate columns only, then filter.
+	for _, di := range filter.Columns() {
+		if err := decodeInto(di, &dec.Cols[di]); err != nil {
+			batchPool.Put(dec)
+			return nil, err
+		}
+		done[di] = true
+	}
+	// An empty predicate selects everything; only a real filter needs the
+	// identity selection materialized (the full-selection paths below never
+	// index sel).
+	nsel := nrows
+	if !filter.Empty() {
+		vs.sel = vec.FillSel(vs.sel, nrows)
+		vs.sel = filter.Filter(dec, vs.sel)
+		nsel = len(vs.sel)
+	}
+	sel := vs.sel
+	if nsel == 0 {
+		batchPool.Put(dec)
+		return batchPool.Get(outSchema), nil // empty batch: projected columns never decoded
+	}
+	full := nsel == nrows
+	if identity && full {
+		// Full selection, identity projection: decode the rest in place —
+		// the decoded batch is the output batch.
+		for _, di := range outIdx {
+			if done[di] {
+				continue
+			}
+			if err := decodeInto(di, &dec.Cols[di]); err != nil {
+				batchPool.Put(dec)
+				return nil, err
+			}
+		}
+		if err := dec.SetLen(nrows); err != nil {
+			batchPool.Put(dec)
+			return nil, err
+		}
+		return dec, nil
+	}
+	// Phase 2: projected columns. Full selection decodes (or swaps) into
+	// the output batch directly; a partial selection decodes into the
+	// scratch batch and gathers only the selected rows.
+	out := batchPool.Get(outSchema)
+	fail := func(err error) (*vec.Batch, error) {
+		batchPool.Put(dec)
+		batchPool.Put(out)
+		return nil, err
+	}
+	for oi, di := range outIdx {
+		switch {
+		case full && done[di]:
+			// Already decoded for the filter; outIdx positions are distinct,
+			// so stealing the vector is safe.
+			out.Cols[oi], dec.Cols[di] = dec.Cols[di], out.Cols[oi]
+		case full:
+			if err := decodeInto(di, &out.Cols[oi]); err != nil {
+				return fail(err)
+			}
+		default:
+			if !done[di] {
+				if err := decodeInto(di, &dec.Cols[di]); err != nil {
+					return fail(err)
+				}
+				done[di] = true
+			}
+			out.Cols[oi].AppendSel(&dec.Cols[di], sel)
+		}
+	}
+	batchPool.Put(dec)
+	if err := out.SetLen(nsel); err != nil {
+		batchPool.Put(out)
+		return nil, err
+	}
+	return out, nil
+}
+
 // blockResult is one decoded block (or its error) flowing through the
-// parallel pipeline.
+// parallel pipeline: a batch on the vectorized path, boxed rows on the
+// boxed path.
 type blockResult struct {
-	rows []value.Row
-	err  error
+	rows  []value.Row
+	batch *vec.Batch
+	err   error
 }
 
 // parallelScan runs the cursor's block list through a bounded worker pool,
@@ -408,19 +709,19 @@ func (ps *parallelScan) shutdown() {
 	ps.wg.Wait()
 }
 
-// next returns the next block's rows in stored order.
-func (ps *parallelScan) next() ([]value.Row, bool, error) {
+// next returns the next block's result in stored order.
+func (ps *parallelScan) next() (blockResult, bool, error) {
 	ch, ok := <-ps.out
 	if !ok {
 		ps.cancel()
-		return nil, false, nil
+		return blockResult{}, false, nil
 	}
 	res := <-ch
 	if res.err != nil {
 		ps.cancel()
-		return nil, false, res.err
+		return blockResult{}, false, res.err
 	}
-	return res.rows, true, nil
+	return res, true, nil
 }
 
 // startParallel switches the cursor to the parallel executor: workers
@@ -454,6 +755,7 @@ func (c *Cursor) startParallel(workers int) {
 	// deterministically.
 	blocks, parts := c.blocks, c.parts
 	decoded, pred, outIdx := c.decoded, c.pred, c.outIdx
+	outSchema, filter, identity := c.schema, c.filter, c.identity
 	go func() {
 		defer ps.wg.Done()
 		defer close(ps.out)
@@ -476,7 +778,12 @@ func (c *Cursor) startParallel(workers int) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer ps.wg.Done()
+			// Per-worker scratch: cloned readers, a boxed-decode scratch and
+			// a selection buffer are reused across this worker's blocks;
+			// batches come from the shared pool (the consumer recycles them).
 			cloned := make([][]*segment.Reader, len(parts))
+			var dec rowDecoder
+			var vs vecScratch
 			for j := range jobs {
 				p := parts[j.ref.part]
 				if cloned[j.ref.part] == nil {
@@ -488,8 +795,13 @@ func (c *Cursor) startParallel(workers int) {
 					}
 					cloned[j.ref.part] = rs
 				}
-				rows, err := decodeBlockRows(p, cloned[j.ref.part], j.ref.block, decoded, pred, outIdx)
-				j.ch <- blockResult{rows: rows, err: err}
+				var res blockResult
+				if filter != nil {
+					res.batch, res.err = decodeBlockVec(p, cloned[j.ref.part], j.ref.block, decoded, outSchema, filter, outIdx, identity, &vs)
+				} else {
+					res.rows, res.err = dec.decodeBlockRows(p, cloned[j.ref.part], j.ref.block, decoded, pred, outIdx, identity)
+				}
+				j.ch <- res
 			}
 		}()
 	}
@@ -523,7 +835,7 @@ func (c *Cursor) seekRow(pos int64) error {
 				return err
 			}
 			c.cur++
-			c.bufPos = int(pos - before)
+			c.skipTo(int(pos - before))
 			return nil
 		}
 		before += int64(bm.Rows)
@@ -538,6 +850,8 @@ func (c *Cursor) seekCell(cell uint64) error {
 		if bm.Cell == cell {
 			c.cur = bi
 			c.buf, c.bufPos = nil, 0
+			batchPool.Put(c.batch)
+			c.batch, c.batchPos = nil, 0
 			return nil
 		}
 	}
@@ -589,14 +903,21 @@ func boundsOf(tab *catalog.Table) []transforms.GridBounds {
 	return out
 }
 
+// storedScanOpts are the internal knobs of scanStoredOpts: raw bypasses
+// pruning (reorganization reads everything back), noZone disables zone-map
+// pruning only, noVec selects the boxed row-at-a-time executor.
+type storedScanOpts struct {
+	raw, noZone, noVec bool
+}
+
 // scanStored builds a cursor over the stored representation. fields nil
 // selects all stored fields. When raw is true the scan bypasses pruning
 // (used by reorganization to read everything back).
 func (e *Engine) scanStored(tab *catalog.Table, fields []string, pred algebra.Predicate, raw bool) (*Cursor, error) {
-	return e.scanStored2(tab, fields, pred, raw, false)
+	return e.scanStoredOpts(tab, fields, pred, storedScanOpts{raw: raw})
 }
 
-func (e *Engine) scanStored2(tab *catalog.Table, fields []string, pred algebra.Predicate, raw, noZone bool) (*Cursor, error) {
+func (e *Engine) scanStoredOpts(tab *catalog.Table, fields []string, pred algebra.Predicate, so storedScanOpts) (*Cursor, error) {
 	stored, err := storedSchema(tab)
 	if err != nil {
 		return nil, err
@@ -652,7 +973,7 @@ func (e *Engine) scanStored2(tab *catalog.Table, fields []string, pred algebra.P
 	}
 
 	// Candidate blocks with grid/zone pruning.
-	prune := e.pruner(tab, pred, raw, noZone)
+	prune := e.pruner(tab, pred, so.raw, so.noZone)
 	var blocks []blockRef
 	for pi, p := range parts {
 		seg0 := firstReadSeg(p)
@@ -664,13 +985,29 @@ func (e *Engine) scanStored2(tab *catalog.Table, fields []string, pred algebra.P
 		}
 	}
 
+	identity := len(outIdx) == decoded.Arity()
+	for i, di := range outIdx {
+		if di != i {
+			identity = false
+			break
+		}
+	}
+	var filter *algebra.CompiledPred
+	if !so.noVec {
+		filter, err = algebra.CompilePred(pred, decoded)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Cursor{
-		schema:  outSchema,
-		decoded: decoded,
-		outIdx:  outIdx,
-		pred:    pred,
-		parts:   parts,
-		blocks:  blocks,
+		schema:   outSchema,
+		decoded:  decoded,
+		outIdx:   outIdx,
+		identity: identity,
+		pred:     pred,
+		filter:   filter,
+		parts:    parts,
+		blocks:   blocks,
 	}, nil
 }
 

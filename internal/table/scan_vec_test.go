@@ -1,0 +1,343 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/value"
+)
+
+// vecSchema is the differential-test schema: one column per vectorizable
+// kind plus spatial floats for grid layouts.
+func vecSchema() *value.Schema {
+	return value.MustSchema(
+		value.Field{Name: "t", Type: value.Int},
+		value.Field{Name: "a", Type: value.Int},
+		value.Field{Name: "x", Type: value.Float},
+		value.Field{Name: "y", Type: value.Float},
+		value.Field{Name: "s", Type: value.Str},
+		value.Field{Name: "b", Type: value.Bool},
+	)
+}
+
+func vecRows(r *rand.Rand, n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(r.Intn(7))),
+			value.NewFloat(r.Float64() * 100),
+			value.NewFloat(r.Float64() * 100),
+			value.NewString(fmt.Sprintf("s%d", r.Intn(5))),
+			value.NewBool(r.Intn(2) == 0),
+		}
+	}
+	return rows
+}
+
+// vecLayouts samples the layout space: plain rows, pure columns, column
+// groups, ordered, gridded, and codec-compressed variants.
+var vecLayouts = []string{
+	"chunk[64](rows(T))",
+	"chunk[64](cols(T))",
+	"chunk[64](colgroup[t,a](T))",
+	"chunk[64](orderby[t](rows(T)))",
+	"chunk[64](zorder(grid[x,y; 8,8](rows(T))))",
+	"chunk[64](delta[x,y](zorder(grid[x,y; 8,8](rows(T)))))",
+	"chunk[64](dict[s](rle[a](delta[t](cols(T)))))",
+	"chunk[64](bitpack[a](rows(T)))",
+}
+
+// vecPreds samples the predicate space (conjunctions over every kind).
+func vecPred(r *rand.Rand) algebra.Predicate {
+	ops := []algebra.CmpOp{algebra.OpEq, algebra.OpNe, algebra.OpLt, algebra.OpLe, algebra.OpGt, algebra.OpGe}
+	p := algebra.True
+	for n := r.Intn(3); n >= 0; n-- {
+		op := ops[r.Intn(len(ops))]
+		switch r.Intn(5) {
+		case 0:
+			p = p.And("t", op, value.NewInt(int64(r.Intn(3000))))
+		case 1:
+			p = p.And("a", op, value.NewFloat(float64(r.Intn(7))-0.5)) // cross-numeric
+		case 2:
+			p = p.And("x", op, value.NewFloat(r.Float64()*100))
+		case 3:
+			p = p.And("s", op, value.NewString(fmt.Sprintf("s%d", r.Intn(5))))
+		default:
+			p = p.And("b", op, value.NewBool(r.Intn(2) == 0))
+		}
+	}
+	return p
+}
+
+func vecProj(r *rand.Rand) []string {
+	switch r.Intn(4) {
+	case 0:
+		return nil // all fields
+	case 1:
+		return []string{"x", "y"}
+	case 2:
+		return []string{"s", "t"}
+	default:
+		return []string{"a"}
+	}
+}
+
+// TestVectorizedScanDifferential is the differential property test of the
+// vectorized executor: across layouts, codecs, projections, predicates,
+// tails, zone pruning and parallelism, every execution strategy must return
+// rows identical to the boxed serial oracle, via Next and via NextBatch.
+func TestVectorizedScanDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	rows := vecRows(r, 3000)
+	for _, layoutExpr := range vecLayouts {
+		layoutExpr := layoutExpr
+		t.Run(layoutExpr, func(t *testing.T) {
+			e, _, _ := newEngine(t)
+			if err := e.Create("T", vecSchema(), layoutExpr); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Load("T", rows[:2500]); err != nil {
+				t.Fatal(err)
+			}
+			// Tail batches exercise the multi-part paths.
+			if err := e.Insert("T", rows[2500:]); err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 12; trial++ {
+				pred := vecPred(r)
+				fields := vecProj(r)
+				noZone := r.Intn(2) == 0
+				base := ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone}
+
+				oracleOpts := base
+				oracleOpts.NoVectorize = true
+				oracle, err := e.Scan("T", oracleOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := drain(t, oracle)
+				oracle.Close()
+
+				variants := []struct {
+					name  string
+					opts  ScanOptions
+					batch bool
+				}{
+					{"vec-serial-next", base, false},
+					{"vec-serial-batch", base, true},
+					{"vec-parallel-next", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4}, false},
+					{"vec-parallel-batch", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4}, true},
+					{"boxed-parallel", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4, NoVectorize: true}, false},
+				}
+				for _, v := range variants {
+					cur, err := e.Scan("T", v.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got []value.Row
+					if v.batch {
+						for {
+							b, ok, err := cur.NextBatch()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !ok {
+								break
+							}
+							for i := 0; i < b.Len(); i++ {
+								got = append(got, b.Row(i))
+							}
+						}
+					} else {
+						got = drain(t, cur)
+					}
+					cur.Close()
+					if len(got) != len(want) {
+						t.Fatalf("trial %d %s pred=%q fields=%v noZone=%v: %d rows, oracle %d",
+							trial, v.name, pred, fields, noZone, len(got), len(want))
+					}
+					for i := range want {
+						for c := range want[i] {
+							if !value.Equal(got[i][c], want[i][c]) {
+								t.Fatalf("trial %d %s pred=%q row %d col %d: %v != %v",
+									trial, v.name, pred, i, c, got[i][c], want[i][c])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVectorizedScanMixedNextAndBatch drains a cursor alternating Next and
+// NextBatch and checks nothing is lost or duplicated at the seams.
+func TestVectorizedScanMixedNextAndBatch(t *testing.T) {
+	e, _, _ := newEngine(t)
+	if err := e.Create("T", vecSchema(), "chunk[64](rows(T))"); err != nil {
+		t.Fatal(err)
+	}
+	rows := vecRows(rand.New(rand.NewSource(5)), 1000)
+	if err := e.Load("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.Scan("T", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, oracle)
+	oracle.Close()
+
+	cur, err := e.Scan("T", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	r := rand.New(rand.NewSource(6))
+	var got []value.Row
+	for {
+		if r.Intn(2) == 0 {
+			row, ok, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, row)
+			continue
+		}
+		b, ok, err := cur.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			got = append(got, b.Row(i))
+		}
+	}
+	if !rowsEqual(got, want) {
+		t.Fatalf("mixed iteration diverged: %d vs %d rows", len(got), len(want))
+	}
+}
+
+// TestVectorizedScanPagesIdentical checks the executor does not change I/O
+// accounting: vectorized and boxed serial scans read the same pages and
+// seeks — the invariant the paper-figure experiments stand on.
+func TestVectorizedScanPagesIdentical(t *testing.T) {
+	e, f, _ := newEngine(t)
+	if err := e.Create("T", vecSchema(), "chunk[64](zorder(grid[x,y; 8,8](rows(T))))"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("T", vecRows(rand.New(rand.NewSource(9)), 4000)); err != nil {
+		t.Fatal(err)
+	}
+	pred := algebra.True.
+		And("x", algebra.OpGe, value.NewFloat(20)).
+		And("x", algebra.OpLt, value.NewFloat(40))
+	measure := func(noVec bool) (uint64, uint64) {
+		f.ResetStats()
+		cur, err := e.Scan("T", ScanOptions{Fields: []string{"x", "y"}, Pred: pred, NoVectorize: noVec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, cur)
+		cur.Close()
+		s := f.Stats()
+		return s.PageReads, s.Seeks
+	}
+	boxedPages, boxedSeeks := measure(true)
+	vecPages, vecSeeks := measure(false)
+	if boxedPages != vecPages || boxedSeeks != vecSeeks {
+		t.Fatalf("I/O accounting diverged: boxed %d pages/%d seeks, vectorized %d/%d",
+			boxedPages, boxedSeeks, vecPages, vecSeeks)
+	}
+	if boxedPages == 0 {
+		t.Fatal("measurement read no pages")
+	}
+}
+
+// TestPooledBatchStress hammers the shared batch pool from many concurrent
+// cursors — serial and parallel, Next and NextBatch — so the race detector
+// can see any cross-goroutine batch reuse bug.
+func TestPooledBatchStress(t *testing.T) {
+	e, _, _ := newEngine(t)
+	if err := e.Create("T", vecSchema(), "chunk[64](zorder(grid[x,y; 8,8](rows(T))))"); err != nil {
+		t.Fatal(err)
+	}
+	rows := vecRows(rand.New(rand.NewSource(21)), 4000)
+	if err := e.Load("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	pred := algebra.True.And("x", algebra.OpLt, value.NewFloat(50))
+	oracle, err := e.Scan("T", ScanOptions{Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, oracle)
+	oracle.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				opts := ScanOptions{Pred: pred, Parallel: g%2 == 0, Workers: 3}
+				cur, err := e.Scan("T", opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := 0
+				if g%3 == 0 {
+					for {
+						b, ok, err := cur.NextBatch()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !ok {
+							break
+						}
+						// Touch every cell so the race detector sees reads of
+						// pooled memory.
+						for i := 0; i < b.Len(); i++ {
+							_ = b.Row(i)
+							n++
+						}
+					}
+				} else {
+					for {
+						_, ok, err := cur.Next()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !ok {
+							break
+						}
+						n++
+					}
+				}
+				cur.Close()
+				if n != len(want) {
+					errs <- fmt.Errorf("goroutine %d: %d rows, want %d", g, n, len(want))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -283,7 +283,13 @@ func cmpInt(a, b int64) int {
 	}
 }
 
-func cmpFloat(a, b float64) int {
+func cmpFloat(a, b float64) int { return CompareFloats(a, b) }
+
+// CompareFloats is the float ordering Compare uses: NaNs sort before
+// everything (stable, arbitrary choice), equal NaNs compare equal. It is
+// exported so vectorized comparison loops (algebra.CompilePred) share the
+// one definition instead of a hand-synchronized copy.
+func CompareFloats(a, b float64) int {
 	switch {
 	case a < b:
 		return -1
@@ -291,7 +297,6 @@ func cmpFloat(a, b float64) int {
 		return 1
 	case a == b:
 		return 0
-	// NaNs sort before everything (stable, arbitrary choice).
 	case math.IsNaN(a) && !math.IsNaN(b):
 		return -1
 	case !math.IsNaN(a) && math.IsNaN(b):

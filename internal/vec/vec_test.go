@@ -1,0 +1,142 @@
+package vec
+
+import (
+	"testing"
+
+	"rodentstore/internal/value"
+)
+
+func TestVectorRoundTripKinds(t *testing.T) {
+	vals := []value.Value{
+		value.NewInt(-7),
+		value.NewFloat(3.25),
+		value.NewString("hello"),
+		value.NewBytes([]byte{1, 2, 3}),
+		value.NewBool(true),
+		value.NewList(value.NewInt(1), value.NewString("x")),
+	}
+	kinds := []value.Kind{value.Int, value.Float, value.Str, value.Bytes, value.Bool, value.List}
+	for k, kind := range kinds {
+		var v Vector
+		v.Reset(kind)
+		if err := v.AppendValue(vals[k]); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		v.AppendNull()
+		if v.Len() != 2 {
+			t.Fatalf("%s: len %d", kind, v.Len())
+		}
+		if !value.Equal(v.Value(0), vals[k]) {
+			t.Fatalf("%s: got %v want %v", kind, v.Value(0), vals[k])
+		}
+		if !v.Value(1).IsNull() || !v.IsNull(1) || v.IsNull(0) {
+			t.Fatalf("%s: null bits wrong", kind)
+		}
+	}
+}
+
+func TestVectorIntIntoFloatColumn(t *testing.T) {
+	// Schemas declare Float but rows may carry Int (value.Schema.Validate
+	// accepts the widening); the vector must widen like the boxed path.
+	var v Vector
+	v.Reset(value.Float)
+	if err := v.AppendValue(value.NewInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Value(0); got.Kind() != value.Float || got.Float() != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAppendSelGather(t *testing.T) {
+	var src Vector
+	src.Reset(value.Str)
+	for _, s := range []string{"a", "bb", "ccc", "dddd"} {
+		src.AppendBytes([]byte(s))
+	}
+	src.AppendNull()
+	var dst Vector
+	dst.Reset(value.Str)
+	dst.AppendSel(&src, []int32{3, 1, 4})
+	if dst.Len() != 3 {
+		t.Fatalf("len %d", dst.Len())
+	}
+	if string(dst.BytesAt(0)) != "dddd" || string(dst.BytesAt(1)) != "bb" {
+		t.Fatalf("gather wrong: %q %q", dst.BytesAt(0), dst.BytesAt(1))
+	}
+	if !dst.IsNull(2) || dst.IsNull(0) {
+		t.Fatal("null bits not gathered")
+	}
+}
+
+func TestBatchRowsAndSetLen(t *testing.T) {
+	schema := value.MustSchema(
+		value.Field{Name: "a", Type: value.Int},
+		value.Field{Name: "b", Type: value.Str},
+	)
+	b := NewBatch(schema)
+	rows := []value.Row{
+		{value.NewInt(1), value.NewString("x")},
+		{value.NullValue(), value.NewString("y")},
+	}
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range rows {
+		got := b.Row(i)
+		for c := range want {
+			if !value.Equal(got[c], want[c]) {
+				t.Fatalf("row %d col %d: got %v want %v", i, c, got[c], want[c])
+			}
+		}
+	}
+	// Misaligned columns are an error, not a truncation.
+	b.Cols[0].AppendInt64(9)
+	if err := b.SetLen(3); err == nil {
+		t.Fatal("SetLen accepted misaligned columns")
+	}
+}
+
+func TestPoolReuseResetsState(t *testing.T) {
+	p := NewPool()
+	s1 := value.MustSchema(value.Field{Name: "a", Type: value.Int})
+	b := p.Get(s1)
+	b.Cols[0].AppendInt64(1)
+	b.Cols[0].Nulls.Set(0)
+	if err := b.SetLen(1); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(b)
+	s2 := value.MustSchema(value.Field{Name: "x", Type: value.Str}, value.Field{Name: "y", Type: value.Float})
+	b2 := p.Get(s2)
+	if b2.Len() != 0 || len(b2.Cols) != 2 || b2.Cols[0].Kind() != value.Str {
+		t.Fatalf("pool did not reset: len=%d cols=%d", b2.Len(), len(b2.Cols))
+	}
+	if b2.Cols[0].Nulls.Any() || b2.Cols[1].Nulls.Any() {
+		t.Fatal("stale null bits after reset")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	schema := value.MustSchema(value.Field{Name: "a", Type: value.Float})
+	b, err := FromRows(schema, []value.Row{{value.NewFloat(1.5)}, {value.NullValue()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || b.Cols[0].Float64s[0] != 1.5 || !b.Cols[0].IsNull(1) {
+		t.Fatal("FromRows wrong")
+	}
+}
+
+func TestFillSel(t *testing.T) {
+	sel := FillSel(nil, 3)
+	if len(sel) != 3 || sel[2] != 2 {
+		t.Fatalf("sel %v", sel)
+	}
+	sel = FillSel(sel, 1)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("sel %v", sel)
+	}
+}

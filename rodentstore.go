@@ -37,6 +37,7 @@ import (
 	"rodentstore/internal/table"
 	"rodentstore/internal/txn"
 	"rodentstore/internal/value"
+	"rodentstore/internal/vec"
 	"rodentstore/internal/wal"
 )
 
@@ -65,6 +66,13 @@ type Value = value.Value
 
 // Row is one record.
 type Row = value.Row
+
+// Batch is one block's worth of scan results as typed column vectors with
+// null bitmaps — the vectorized counterpart of iterating rows. Obtained
+// from Cursor.NextBatch; read columns through Batch.Cols (Int64s/Float64s
+// slices, byte arenas) or box single rows with Batch.Row. A batch is valid
+// only until the next cursor call.
+type Batch = vec.Batch
 
 // Typed value constructors, re-exported for building rows.
 var (
