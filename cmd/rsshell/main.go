@@ -15,7 +15,8 @@
 //	cost <table> [fields ...] [where ...]
 //	layout <table> [<new expr> [lazy]]
 //	advise <table> fields <f1,f2> [where <pred>]
-//	orders <table> | tables | schema <table> | stats | reorg <table> | quit
+//	orders <table> | tables | schema <table> | stats | reorg <table>
+//	check | quit
 package main
 
 import (
@@ -85,6 +86,7 @@ func execute(db *rodentstore.DB, line string) error {
   layout <table> <expr> [lazy]         alter layout (eager by default)
   advise <table> fields a,b [where <pred>]   run the design optimizer
   orders <table>                       efficient orders (order_list)
+  check                                integrity walk (header, blocks, wal)
   schema <table> | tables | stats | reorg <table> | quit`)
 		return nil
 	case "tables":
@@ -159,6 +161,18 @@ func execute(db *rodentstore.DB, line string) error {
 		return nil
 	case "reorg":
 		return db.Reorganize(rest)
+	case "check":
+		rep, err := db.CheckIntegrity()
+		if rep != nil {
+			fmt.Printf("checked %d tables, %d segments, %d blocks\n", rep.Tables, rep.Segments, rep.Blocks)
+			for _, issue := range rep.Issues {
+				fmt.Println("  CORRUPT:", issue.String())
+			}
+			if rep.OK() && err == nil {
+				fmt.Println("ok")
+			}
+		}
+		return err
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}

@@ -90,6 +90,12 @@ type Query struct {
 	// Workers bounds the parallel worker pool (0 = GOMAXPROCS). Ignored
 	// unless Parallel is set.
 	Workers int
+	// Quarantine degrades gracefully on damaged data: extents that cannot
+	// be read (transient errors are retried first) are skipped instead of
+	// failing the scan, and Cursor.Report lists what was skipped. Off by
+	// default — an unreadable extent fails the scan with a typed corruption
+	// error.
+	Quarantine bool
 }
 
 func (q Query) toOptions() (table.ScanOptions, error) {
@@ -97,6 +103,7 @@ func (q Query) toOptions() (table.ScanOptions, error) {
 	opts.Fields = q.Fields
 	opts.Parallel = q.Parallel
 	opts.Workers = q.Workers
+	opts.Quarantine = q.Quarantine
 	if strings.TrimSpace(q.Where) != "" {
 		pred, err := algebra.ParsePredicate(q.Where)
 		if err != nil {
@@ -133,6 +140,17 @@ func (c *Cursor) NextBatch() (*Batch, bool, error) { return c.inner.NextBatch() 
 
 // Schema returns the cursor's output schema.
 func (c *Cursor) Schema() []Field { return c.inner.Schema().Fields }
+
+// ScanReport describes what a quarantined scan skipped; empty when the scan
+// saw everything.
+type ScanReport = table.ScanReport
+
+// SkippedExtent is one quarantined extent in a ScanReport.
+type SkippedExtent = table.SkippedExtent
+
+// Report returns what a Quarantine scan has skipped so far — complete once
+// the cursor is exhausted. Always empty without Query.Quarantine.
+func (c *Cursor) Report() ScanReport { return c.inner.Report() }
 
 // Close releases the cursor.
 func (c *Cursor) Close() { c.inner.Close() }

@@ -96,6 +96,15 @@ type Catalog struct {
 	extent segment.Meta // current catalog extent (reuses segment.Meta fields)
 	encBuf []byte       // reusable flush encode buffer (guarded by mu)
 	dirty  bool         // buffered updates not yet persisted (see PutBuffered)
+
+	// DeferFree, when set, is offered the previous catalog extent on every
+	// flush instead of it being freed inline with the meta-slot flip. A true
+	// return means the hook took ownership (the engine queues it to be freed
+	// only after the flip is made durable by a checkpoint — reusing it
+	// earlier would let WAL replay clobber a catalog a crash rolled back
+	// to). A false return keeps the inline free. Set before first use; the
+	// hook is called with the catalog lock held and must not reenter it.
+	DeferFree func(pager.Extent) bool
 }
 
 // Load reads the catalog from the file (empty catalog if none yet).
@@ -143,9 +152,13 @@ func (c *Catalog) flush() error {
 	c.encBuf = buf
 	// Write the new extent, flip the meta slots and free the old extent
 	// with a single header write: a crash leaves either the whole previous
-	// catalog or the whole new one.
-	ext, err := c.file.ReplaceMetaExtent(slotExtentStart, slotExtentPages, slotByteLen, buf,
-		pager.Extent{Start: c.extent.ExtentStart, Count: c.extent.ExtentPages})
+	// catalog or the whole new one. With a DeferFree hook the old extent is
+	// handed off instead of freed here (see the field comment).
+	old := pager.Extent{Start: c.extent.ExtentStart, Count: c.extent.ExtentPages}
+	if old.Count > 0 && c.DeferFree != nil && c.DeferFree(old) {
+		old = pager.Extent{Start: pager.InvalidPage}
+	}
+	ext, err := c.file.ReplaceMetaExtent(slotExtentStart, slotExtentPages, slotByteLen, buf, old)
 	if err != nil {
 		return err
 	}

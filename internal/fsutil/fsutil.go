@@ -2,7 +2,11 @@
 // write-ahead log.
 package fsutil
 
-import "os"
+import (
+	"errors"
+	"os"
+	"syscall"
+)
 
 // Preallocate makes the file at least size bytes long with its blocks
 // actually allocated where the platform supports it (fallocate on Linux),
@@ -11,12 +15,36 @@ import "os"
 // commits data without a metadata journal transaction — the difference
 // between a ~50µs and a ~400µs fsync on ext4, and the reason the WAL
 // preallocates its append space.
+//
+// The truncate fallback applies only when fallocate is unsupported by the
+// platform or filesystem (ENOTSUP/EOPNOTSUPP, EINVAL from filesystems that
+// reject the syscall, or errors.ErrUnsupported off Linux). Real allocation
+// failures — ENOSPC, EIO, EBADF — propagate to the caller: silently
+// "falling back" to a truncate that cannot reserve blocks either would
+// defer the failure to a later write or fsync, where it is much harder to
+// attribute.
 func Preallocate(f *os.File, size int64) error {
 	if st, err := f.Stat(); err == nil && st.Size() >= size {
 		return nil
 	}
-	if err := preallocate(f, size); err == nil {
+	err := preallocate(f, size)
+	if err == nil {
 		return nil
 	}
+	if !fallocateUnsupported(err) {
+		return err
+	}
 	return f.Truncate(size)
+}
+
+// fallocateUnsupported reports whether err means the platform or the
+// underlying filesystem cannot do fallocate at all (as opposed to having
+// tried and failed).
+func fallocateUnsupported(err error) bool {
+	if errors.Is(err, errors.ErrUnsupported) {
+		return true
+	}
+	return errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP) ||
+		errors.Is(err, syscall.EINVAL)
 }

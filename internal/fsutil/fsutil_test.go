@@ -1,0 +1,64 @@
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestPreallocateExtends(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "prealloc")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	if err := Preallocate(f, 8192); err != nil {
+		t.Fatalf("preallocate: %v", err)
+	}
+	st, _ := f.Stat()
+	if st.Size() != 8192 {
+		t.Fatalf("size = %d, want 8192", st.Size())
+	}
+	// Never shrinks.
+	if err := Preallocate(f, 100); err != nil {
+		t.Fatalf("preallocate smaller: %v", err)
+	}
+	st, _ = f.Stat()
+	if st.Size() != 8192 {
+		t.Fatalf("size after smaller preallocate = %d", st.Size())
+	}
+}
+
+func TestPreallocatePropagatesRealErrors(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "prealloc")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	f.Close()
+	// fallocate on a closed descriptor is EBADF — a real I/O error, which
+	// must propagate rather than be masked by a truncate fallback.
+	err = Preallocate(f, 4096)
+	if err == nil {
+		t.Fatalf("preallocate on closed file succeeded")
+	}
+	if errors.Is(err, os.ErrClosed) {
+		t.Fatalf("error came from the truncate fallback, not fallocate: %v", err)
+	}
+	if !errors.Is(err, syscall.EBADF) {
+		t.Fatalf("err = %v, want EBADF", err)
+	}
+}
+
+func TestFallocateUnsupportedClassification(t *testing.T) {
+	for _, err := range []error{errors.ErrUnsupported, syscall.ENOTSUP, syscall.EOPNOTSUPP, syscall.EINVAL} {
+		if !fallocateUnsupported(err) {
+			t.Errorf("fallocateUnsupported(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{syscall.ENOSPC, syscall.EIO, syscall.EBADF} {
+		if fallocateUnsupported(err) {
+			t.Errorf("fallocateUnsupported(%v) = true, want false", err)
+		}
+	}
+}

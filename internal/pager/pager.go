@@ -33,7 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"rodentstore/internal/fsutil"
+	"rodentstore/internal/vfs"
 )
 
 // PageID identifies a page in the file. Page 0 is the header; callers never
@@ -61,7 +61,13 @@ const (
 	MaxPageSize = 1 << 20
 
 	pageHeaderSize = 4 // crc32 of payload
-	magic          = "RDNT0001"
+	// magicV1 is the original header magic: no header checksum. Files
+	// carrying it still open; the first header write upgrades them to v2.
+	magicV1 = "RDNT0001"
+	// magic is the current header magic: the header page carries a crc32 of
+	// its contents in its last 4 bytes, so a torn header write is detected
+	// as corruption instead of being silently interpreted.
+	magic = "RDNT0002"
 	// metaSlots is the number of uint64 metadata slots exposed to upper
 	// layers (catalog roots, WAL cursors, ...).
 	metaSlots = 16
@@ -109,10 +115,23 @@ type Extent struct {
 	Count uint64
 }
 
-// File is a page store backed by one OS file. All methods are safe for
-// concurrent use; page reads and writes do not take any global lock.
+// ErrCorruptPage reports a page whose stored checksum does not match its
+// content (or, for page 0, a header that fails validation). It carries the
+// page identity so upper layers can quarantine the extent that owns it.
+type ErrCorruptPage struct {
+	Page   PageID
+	Detail string
+}
+
+func (e *ErrCorruptPage) Error() string {
+	return fmt.Sprintf("pager: page %d corrupt: %s", e.Page, e.Detail)
+}
+
+// File is a page store backed by one file (the OS implementation in
+// production; vfs.Fault under fault-injection tests). All methods are safe
+// for concurrent use; page reads and writes do not take any global lock.
 type File struct {
-	f        *os.File
+	f        vfs.File
 	path     string
 	pageSize int
 	readOnly bool
@@ -146,13 +165,18 @@ type File struct {
 	haveLast bool
 }
 
-// Create creates a new page file at path with the given page size,
-// truncating any existing file.
+// Create creates a new page file at path on the OS file system with the
+// given page size, truncating any existing file.
 func Create(path string, pageSize int) (*File, error) {
+	return CreateAt(vfs.OS, path, pageSize)
+}
+
+// CreateAt creates a new page file on the given file system.
+func CreateAt(fsys vfs.FS, path string, pageSize int) (*File, error) {
 	if pageSize < MinPageSize || pageSize > MaxPageSize {
 		return nil, fmt.Errorf("pager: page size %d out of range [%d,%d]", pageSize, MinPageSize, MaxPageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: create %s: %w", path, err)
 	}
@@ -161,6 +185,11 @@ func Create(path string, pageSize int) (*File, error) {
 	p.mu.Lock()
 	err = p.writeHeader()
 	p.mu.Unlock()
+	if err == nil {
+		// Make the fresh header durable: a crash after Create must reopen as
+		// an empty store, not as a missing or headerless file.
+		err = f.Sync()
+	}
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -168,9 +197,15 @@ func Create(path string, pageSize int) (*File, error) {
 	return p, nil
 }
 
-// Open opens an existing page file and restores its header state.
+// Open opens an existing page file on the OS file system and restores its
+// header state.
 func Open(path string) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return OpenAt(vfs.OS, path)
+}
+
+// OpenAt opens an existing page file on the given file system.
+func OpenAt(fsys vfs.FS, path string) (*File, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
@@ -181,7 +216,7 @@ func Open(path string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("pager: read header of %s: %w", path, err)
 	}
-	if string(buf[:8]) != magic {
+	if string(buf[:8]) != magic && string(buf[:8]) != magicV1 {
 		f.Close()
 		return nil, fmt.Errorf("pager: %s is not a RodentStore file", path)
 	}
@@ -190,8 +225,8 @@ func Open(path string) (*File, error) {
 		f.Close()
 		return nil, err
 	}
-	if st, err := f.Stat(); err == nil {
-		p.filePages = uint64(st.Size()) / uint64(p.pageSize)
+	if sz, err := f.Size(); err == nil {
+		p.filePages = uint64(sz) / uint64(p.pageSize)
 	}
 	if p.filePages < p.nextPage.Load() {
 		// A crash can leave the header cursor ahead of the file; restore
@@ -208,10 +243,12 @@ func Open(path string) (*File, error) {
 // freeListCap is how many free extents the header page can persist: the
 // page must hold the fixed fields (magic, page size, next-page cursor,
 // meta slots, extent count, trailing leak counter) plus 16 bytes per
-// extent. freeLocked keeps len(p.free) within this, so writeHeader never
-// overruns the page.
+// extent, with the last 4 bytes of the page reserved for the header crc32.
+// freeLocked keeps len(p.free) within this, so writeHeader never overruns
+// the crc. (v1 files, without the reserved crc bytes, can carry one extent
+// more; parseHeader trims the overflow into the leak counter.)
 func (p *File) freeListCap() int {
-	c := (p.pageSize - (len(magic) + 4 + 8 + metaSlots*8 + 4 + 8)) / 16
+	c := (p.pageSize - (len(magic) + 4 + 8 + metaSlots*8 + 4 + 8 + 4)) / 16
 	if c > maxFreeExtents {
 		c = maxFreeExtents
 	}
@@ -222,7 +259,8 @@ func (p *File) freeListCap() int {
 }
 
 // header layout (after the 8-byte magic): pageSize u32, nextPage u64,
-// meta[16] u64, nfree u32, {start u64, count u64}*nfree, leaked u64.
+// meta[16] u64, nfree u32, {start u64, count u64}*nfree, leaked u64, and —
+// since v2 — a crc32 of buf[:pageSize-4] in the page's last 4 bytes.
 // Caller holds p.mu.
 func (p *File) writeHeader() error {
 	buf := make([]byte, p.pageSize)
@@ -245,6 +283,7 @@ func (p *File) writeHeader() error {
 		off += 8
 	}
 	binary.LittleEndian.PutUint64(buf[off:], p.stats.leakedPages.Load())
+	binary.LittleEndian.PutUint32(buf[p.pageSize-4:], crc32.ChecksumIEEE(buf[:p.pageSize-4]))
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("pager: write header: %w", err)
 	}
@@ -252,11 +291,18 @@ func (p *File) writeHeader() error {
 }
 
 func (p *File) parseHeader(buf []byte) error {
+	v1 := string(buf[:8]) == magicV1
 	off := 8
 	p.pageSize = int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
 	if p.pageSize < legacyMinPageSize || p.pageSize > MaxPageSize {
-		return fmt.Errorf("pager: corrupt header: page size %d", p.pageSize)
+		return &ErrCorruptPage{Page: 0, Detail: fmt.Sprintf("header page size %d", p.pageSize)}
+	}
+	if !v1 {
+		want := binary.LittleEndian.Uint32(buf[p.pageSize-4:])
+		if got := crc32.ChecksumIEEE(buf[:p.pageSize-4]); got != want {
+			return &ErrCorruptPage{Page: 0, Detail: "header checksum mismatch"}
+		}
 	}
 	p.nextPage.Store(binary.LittleEndian.Uint64(buf[off:]))
 	off += 8
@@ -266,8 +312,12 @@ func (p *File) parseHeader(buf []byte) error {
 	}
 	nfree := binary.LittleEndian.Uint32(buf[off:])
 	off += 4
-	if int(nfree) > p.freeListCap() {
-		return fmt.Errorf("pager: corrupt header: %d free extents", nfree)
+	limit := p.freeListCap()
+	if v1 {
+		limit++ // v1 had no reserved crc bytes: one extra extent could fit
+	}
+	if int(nfree) > limit {
+		return &ErrCorruptPage{Page: 0, Detail: fmt.Sprintf("header lists %d free extents", nfree)}
 	}
 	p.free = make([]Extent, nfree)
 	for i := range p.free {
@@ -277,7 +327,33 @@ func (p *File) parseHeader(buf []byte) error {
 		off += 8
 	}
 	p.stats.leakedPages.Store(binary.LittleEndian.Uint64(buf[off:]))
+	if len(p.free) > p.freeListCap() {
+		// A v1 free list one past the v2 cap: leak the overflow so the next
+		// header write (v2 format) fits.
+		for _, e := range p.free[p.freeListCap():] {
+			p.stats.leakedPages.Add(e.Count)
+		}
+		p.free = p.free[:p.freeListCap()]
+	}
 	return nil
+}
+
+// CheckHeader re-reads and re-validates the header page from disk, including
+// its checksum. It is the integrity walker's entry point for page 0 (which
+// ReadPage never serves).
+func (p *File) CheckHeader() error {
+	buf := make([]byte, p.pageSize)
+	p.mu.Lock() // header writes happen under mu; avoid reading one torn
+	_, err := p.f.ReadAt(buf, 0)
+	p.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("pager: read header: %w", err)
+	}
+	if string(buf[:8]) != magic && string(buf[:8]) != magicV1 {
+		return &ErrCorruptPage{Page: 0, Detail: "bad magic"}
+	}
+	check := &File{path: p.path}
+	return check.parseHeader(buf)
 }
 
 // PageSize returns the page size in bytes.
@@ -337,7 +413,7 @@ func (p *File) growTo(next uint64) error {
 	// covers it. Preallocation (vs a sparse truncate) means later page
 	// writes do not allocate filesystem blocks, keeping them out of the
 	// journal's way when the WAL fsyncs concurrently.
-	if err := fsutil.Preallocate(p.f, int64(target)*int64(p.pageSize)); err != nil {
+	if err := p.f.Preallocate(int64(target) * int64(p.pageSize)); err != nil {
 		return fmt.Errorf("pager: extend: %w", err)
 	}
 	p.filePages = target
@@ -505,7 +581,7 @@ func (p *File) ReadPage(id PageID) ([]byte, error) {
 	p.noteRead(id)
 	want := binary.LittleEndian.Uint32(buf)
 	if got := crc32.ChecksumIEEE(buf[pageHeaderSize:]); got != want {
-		return nil, fmt.Errorf("pager: page %d checksum mismatch (corrupt or never written)", id)
+		return nil, &ErrCorruptPage{Page: id, Detail: "checksum mismatch (corrupt or never written)"}
 	}
 	return buf[pageHeaderSize:], nil
 }

@@ -1,0 +1,51 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+
+	"rodentstore/internal/pager"
+)
+
+// ErrCorruptExtent reports that a segment's extent holds data that cannot be
+// decoded: a page failed its checksum, a block's framing is inconsistent, or
+// a column chunk decoded to the wrong shape. It carries the extent identity
+// (and the block index when known, -1 otherwise) so scans can quarantine
+// exactly the damaged extent and integrity reports can name it.
+type ErrCorruptExtent struct {
+	Start pager.PageID
+	Pages uint64
+	Block int
+	Cause error
+}
+
+func (e *ErrCorruptExtent) Error() string {
+	if e.Block >= 0 {
+		return fmt.Sprintf("segment: extent [%d,+%d) block %d corrupt: %v", e.Start, e.Pages, e.Block, e.Cause)
+	}
+	return fmt.Sprintf("segment: extent [%d,+%d) corrupt: %v", e.Start, e.Pages, e.Cause)
+}
+
+func (e *ErrCorruptExtent) Unwrap() error { return e.Cause }
+
+// corrupt wraps err with the reader's extent identity (once — an error that
+// already carries it passes through so nested read paths do not double-wrap).
+func (r *Reader) corrupt(block int, err error) error {
+	var ce *ErrCorruptExtent
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &ErrCorruptExtent{Start: r.meta.ExtentStart, Pages: r.meta.ExtentPages, Block: block, Cause: err}
+}
+
+// classifyReadErr distinguishes data corruption surfacing from the page
+// layer (checksum mismatches become ErrCorruptExtent, carrying the extent)
+// from transient I/O failures, which pass through unwrapped so callers can
+// retry them.
+func (r *Reader) classifyReadErr(block int, err error) error {
+	var cp *pager.ErrCorruptPage
+	if errors.As(err, &cp) {
+		return r.corrupt(block, err)
+	}
+	return err
+}

@@ -320,7 +320,7 @@ func (r *Reader) readRange(off uint64, n uint32) ([]byte, error) {
 // vectorized path reuses one buffer across blocks).
 func (r *Reader) readRangeInto(out []byte, off uint64, n uint32) ([]byte, error) {
 	if off+uint64(n) > r.meta.UsedBytes {
-		return nil, fmt.Errorf("segment: range [%d,%d) beyond used bytes %d", off, off+uint64(n), r.meta.UsedBytes)
+		return nil, r.corrupt(-1, fmt.Errorf("range [%d,%d) beyond used bytes %d", off, off+uint64(n), r.meta.UsedBytes))
 	}
 	payload := uint64(r.file.PayloadSize())
 	first := off / payload
@@ -343,7 +343,7 @@ func (r *Reader) readRangeInto(out []byte, off uint64, n uint32) ([]byte, error)
 		if leaser != nil {
 			page, release, err := leaser.LeasePage(id)
 			if err != nil {
-				return nil, err
+				return nil, r.classifyReadErr(-1, err)
 			}
 			out = append(out, page[lo:hi]...)
 			if p == last {
@@ -358,7 +358,7 @@ func (r *Reader) readRangeInto(out []byte, off uint64, n uint32) ([]byte, error)
 		}
 		page, err := r.file.ReadPage(id)
 		if err != nil {
-			return nil, err
+			return nil, r.classifyReadErr(-1, err)
 		}
 		r.lastPage, r.lastBuf = id, page
 		out = append(out, page[lo:hi]...)
@@ -388,10 +388,10 @@ func (r *Reader) ReadBlock(i int, wantCols []int) ([][]value.Value, error) {
 		}
 		vals, err := r.codecs[c].Decode(bv.chunks[c], r.spec.Fields[c].Type)
 		if err != nil {
-			return nil, fmt.Errorf("segment: block %d field %q: %w", i, r.spec.Fields[c].Name, err)
+			return nil, r.corrupt(i, fmt.Errorf("field %q: %w", r.spec.Fields[c].Name, err))
 		}
 		if len(vals) != bv.nrows {
-			return nil, fmt.Errorf("segment: block %d field %q: %d values, %d rows", i, r.spec.Fields[c].Name, len(vals), bv.nrows)
+			return nil, r.corrupt(i, fmt.Errorf("field %q: %d values, %d rows", r.spec.Fields[c].Name, len(vals), bv.nrows))
 		}
 		out[c] = vals
 	}

@@ -44,25 +44,25 @@ func (r *Reader) View(i int) (*BlockView, error) {
 	}
 	r.rawBuf = raw
 	if len(raw) < 12 {
-		return nil, fmt.Errorf("segment: block %d truncated", i)
+		return nil, r.corrupt(i, fmt.Errorf("block truncated"))
 	}
 	bodyLen := binary.LittleEndian.Uint32(raw)
 	if uint32(len(raw)) < 4+bodyLen {
-		return nil, fmt.Errorf("segment: block %d short body", i)
+		return nil, r.corrupt(i, fmt.Errorf("short body"))
 	}
 	body := raw[4 : 4+bodyLen]
 	if len(body) < 9 {
-		return nil, fmt.Errorf("segment: block %d corrupt header", i)
+		return nil, r.corrupt(i, fmt.Errorf("corrupt block header"))
 	}
 	cell := binary.LittleEndian.Uint64(body)
 	nrows, sz := binary.Uvarint(body[8:])
 	if sz <= 0 {
-		return nil, fmt.Errorf("segment: block %d bad row count", i)
+		return nil, r.corrupt(i, fmt.Errorf("bad row count"))
 	}
 	// Block metadata is the authoritative row count: a chunk that decodes to
 	// a different length is corruption, caught in DecodeCol.
 	if int64(nrows) != int64(bm.Rows) {
-		return nil, fmt.Errorf("segment: block %d holds %d rows, metadata says %d", i, nrows, bm.Rows)
+		return nil, r.corrupt(i, fmt.Errorf("block holds %d rows, metadata says %d", nrows, bm.Rows))
 	}
 	off := 8 + sz
 	bv := &r.view
@@ -70,12 +70,12 @@ func (r *Reader) View(i int) (*BlockView, error) {
 	bv.chunks = bv.chunks[:0]
 	for c := range r.spec.Fields {
 		if off+4 > len(body) {
-			return nil, fmt.Errorf("segment: block %d truncated at column %d", i, c)
+			return nil, r.corrupt(i, fmt.Errorf("truncated at column %d", c))
 		}
 		chunkLen := binary.LittleEndian.Uint32(body[off:])
 		off += 4
 		if off+int(chunkLen) > len(body) {
-			return nil, fmt.Errorf("segment: block %d column %d overruns body", i, c)
+			return nil, r.corrupt(i, fmt.Errorf("column %d overruns body", c))
 		}
 		bv.chunks = append(bv.chunks, body[off:off+int(chunkLen)])
 		off += int(chunkLen)
@@ -99,11 +99,11 @@ func (bv *BlockView) DecodeCol(c int, dst *vec.Vector) error {
 	r := bv.r
 	dst.Reset(r.spec.Fields[c].Type)
 	if err := compress.DecodeVec(r.codecs[c], bv.chunks[c], r.spec.Fields[c].Type, dst); err != nil {
-		return fmt.Errorf("segment: block %d field %q: %w", bv.idx, r.spec.Fields[c].Name, err)
+		return r.corrupt(bv.idx, fmt.Errorf("field %q: %w", r.spec.Fields[c].Name, err))
 	}
 	if dst.Len() != bv.nrows {
-		return fmt.Errorf("segment: block %d field %q: %d values, %d rows",
-			bv.idx, r.spec.Fields[c].Name, dst.Len(), bv.nrows)
+		return r.corrupt(bv.idx, fmt.Errorf("field %q: %d values, %d rows",
+			r.spec.Fields[c].Name, dst.Len(), bv.nrows))
 	}
 	return nil
 }

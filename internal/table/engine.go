@@ -81,6 +81,18 @@ type Engine struct {
 	// merge is the background tail-merge worker (nil until EnableAutoMerge).
 	mergeMu sync.Mutex
 	merge   *merger
+
+	// freeMu guards the deferred-free queue. In durable (SyncInserts) mode,
+	// extents a catalog update stopped referencing are not freed inline:
+	// until the update is durable, a crash rolls the catalog back to a
+	// version that still references them, and a reallocated extent rewritten
+	// by WAL replay would corrupt that old catalog's data. Queued extents
+	// are staged when a checkpoint begins and freed once it has synced the
+	// file and truncated the log (the AfterCheckpoint hook), so the worst
+	// crash outcome is a leaked extent.
+	freeMu        sync.Mutex
+	deferredFrees []pager.Extent // queued, awaiting a checkpoint
+	stagedFrees   []pager.Extent // covered by the in-progress checkpoint
 }
 
 // NewEngine creates an engine over an open page file and catalog. lockMgr
@@ -90,11 +102,7 @@ type Engine struct {
 // WAL catalog deltas (durable tail appends) replay during recovery — so
 // create the engine before calling the manager's Recover.
 func NewEngine(file *pager.File, cat *catalog.Catalog, lockMgr *txn.Manager) *Engine {
-	if lockMgr != nil {
-		lockMgr.BeforeCheckpoint = cat.Flush
-		lockMgr.OnRecoverCatalog = cat.ApplyTailAppend
-	}
-	return &Engine{
+	e := &Engine{
 		file:        file,
 		cat:         cat,
 		locks:       lockMgr,
@@ -103,6 +111,81 @@ func NewEngine(file *pager.File, cat *catalog.Catalog, lockMgr *txn.Manager) *En
 		specs:       make(map[string]*layout.Spec),
 		insertSnaps: make(map[string]insertSnapshot),
 	}
+	if lockMgr != nil {
+		// Stage the deferred-free queue before the catalog flush: everything
+		// queued by then had its catalog update already written, so this
+		// checkpoint's file sync makes those updates durable and the staged
+		// extents safe to free afterwards. Extents queued mid-checkpoint wait
+		// for the next one.
+		lockMgr.BeforeCheckpoint = func() error {
+			e.freeMu.Lock()
+			e.stagedFrees = append(e.stagedFrees, e.deferredFrees...)
+			e.deferredFrees = nil
+			e.freeMu.Unlock()
+			return cat.Flush()
+		}
+		lockMgr.AfterCheckpoint = e.freeStaged
+		lockMgr.OnRecoverCatalog = cat.ApplyTailAppend
+		cat.DeferFree = e.deferFree
+	}
+	return e
+}
+
+// deferFree queues an extent to be freed by the next checkpoint when the
+// engine runs durably; without durability there is no WAL replay to guard
+// against, so it reports false and the caller frees inline.
+func (e *Engine) deferFree(ext pager.Extent) bool {
+	if !e.SyncInserts || e.locks == nil || ext.Count == 0 {
+		return false
+	}
+	e.freeMu.Lock()
+	e.deferredFrees = append(e.deferredFrees, ext)
+	e.freeMu.Unlock()
+	return true
+}
+
+// freeStaged releases the extents staged by the checkpoint that just made
+// their catalog un-references durable (the Manager's AfterCheckpoint hook).
+func (e *Engine) freeStaged() error {
+	e.freeMu.Lock()
+	staged := e.stagedFrees
+	e.stagedFrees = nil
+	e.freeMu.Unlock()
+	for i, ext := range staged {
+		if err := e.file.FreeRun(ext.Start, ext.Count); err != nil {
+			// Re-queue what remains: freeing is retried by the next
+			// checkpoint; losing track of it would leak the pages for good.
+			e.freeMu.Lock()
+			e.stagedFrees = append(e.stagedFrees, staged[i:]...)
+			e.freeMu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// freeSegment frees one segment's extent — deferred to the next checkpoint
+// in durable mode, inline otherwise.
+func (e *Engine) freeSegment(meta segment.Meta) error {
+	if meta.ExtentPages == 0 {
+		return nil
+	}
+	if e.deferFree(pager.Extent{Start: meta.ExtentStart, Count: meta.ExtentPages}) {
+		return nil
+	}
+	return segment.Free(e.file, meta)
+}
+
+// checkpointAfterFlip runs right after a catalog update that unreferenced
+// extents (reorganize, drop) in durable mode: the checkpoint makes the new
+// catalog durable and drains the deferred frees it queued. Without it the
+// extents would stay unavailable until the next policy checkpoint — a delay,
+// never a leak.
+func (e *Engine) checkpointAfterFlip() error {
+	if !e.SyncInserts || e.locks == nil {
+		return nil
+	}
+	return e.locks.Checkpoint()
 }
 
 // withLock takes a table-level lock around fn.
@@ -210,11 +293,14 @@ func (e *Engine) Drop(name string) error {
 		if err := e.checkpointBeforeFree(); err != nil {
 			return err
 		}
-		if err := freeAll(e.file, tab); err != nil {
+		if err := e.freeAll(tab); err != nil {
 			return err
 		}
 		e.invalidateSpecCache()
-		return e.cat.Delete(name)
+		if err := e.cat.Delete(name); err != nil {
+			return err
+		}
+		return e.checkpointAfterFlip()
 	})
 }
 
@@ -234,15 +320,17 @@ func (e *Engine) checkpointBeforeFree() error {
 	return e.locks.CheckpointBarrier()
 }
 
-func freeAll(file *pager.File, tab *catalog.Table) error {
+// freeAll frees (or defers, in durable mode) every extent of a table
+// snapshot.
+func (e *Engine) freeAll(tab *catalog.Table) error {
 	for _, s := range tab.Segments {
-		if err := segment.Free(file, s.Meta); err != nil {
+		if err := e.freeSegment(s.Meta); err != nil {
 			return err
 		}
 	}
 	for _, batch := range tab.Tails {
 		for _, s := range batch {
-			if err := segment.Free(file, s.Meta); err != nil {
+			if err := e.freeSegment(s.Meta); err != nil {
 				return err
 			}
 		}
@@ -625,7 +713,10 @@ func (e *Engine) reorganizeLocked(tab *catalog.Table) error {
 	if err := e.render(tab, schema, rows); err != nil {
 		return err
 	}
-	return freeAll(e.file, &old)
+	if err := e.freeAll(&old); err != nil {
+		return err
+	}
+	return e.checkpointAfterFlip()
 }
 
 // renderNarrowed handles reorganization of layouts whose stored schema is a
@@ -639,7 +730,10 @@ func (e *Engine) renderNarrowed(tab *catalog.Table, stored *value.Schema, rows [
 	if err := e.renderWithSpec(tab, stored, rows, spec); err != nil {
 		return err
 	}
-	return freeAll(e.file, old)
+	if err := e.freeAll(old); err != nil {
+		return err
+	}
+	return e.checkpointAfterFlip()
 }
 
 // compileAgainst compiles exprText treating `name` as having the given

@@ -45,6 +45,12 @@ type ScanOptions struct {
 	// flag exists for differential tests and as the Ext-11 benchmark
 	// baseline.
 	NoVectorize bool
+	// Quarantine degrades gracefully on damaged data: blocks that cannot be
+	// read (after transient errors are retried with capped backoff) are
+	// skipped instead of aborting the scan, and the affected extents are
+	// listed in Cursor.Report. Off by default — an unreadable block fails
+	// the scan with a typed corruption error.
+	Quarantine bool
 }
 
 // reorganizeIfNeeded applies a pending lazy reorganization under the
@@ -80,7 +86,7 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 			needsReorg = true // reorganize needs the exclusive lock; retry below
 			return nil
 		}
-		cur, err = e.scanStoredOpts(tab, opts.Fields, opts.Pred, storedScanOpts{noZone: opts.NoZonePrune, noVec: opts.NoVectorize})
+		cur, err = e.scanStoredOpts(tab, opts.Fields, opts.Pred, storedScanOpts{noZone: opts.NoZonePrune, noVec: opts.NoVectorize, quarantine: opts.Quarantine})
 		if err != nil {
 			return err
 		}
@@ -292,7 +298,14 @@ type Cursor struct {
 	// sorted, when non-nil, replaces streaming (materialized order-by).
 	sorted    []value.Row
 	sortedPos int
+	// quar, when non-nil, enables corruption quarantine: unreadable blocks
+	// are recorded here and skipped instead of failing the scan.
+	quar *quarState
 }
+
+// Report returns what a quarantined scan has skipped so far. Complete only
+// after the cursor is exhausted; always empty without ScanOptions.Quarantine.
+func (c *Cursor) Report() ScanReport { return c.quar.report() }
 
 // Schema returns the cursor's output schema.
 func (c *Cursor) Schema() *value.Schema { return c.schema }
@@ -409,6 +422,9 @@ func (c *Cursor) advance() error {
 			c.exhausted = true
 			return nil
 		}
+		if res.skipped {
+			return nil // quarantined block: Next's loop re-advances
+		}
 		if res.batch != nil {
 			batchPool.Put(c.batch)
 			c.batch, c.batchPos = res.batch, 0
@@ -421,8 +437,19 @@ func (c *Cursor) advance() error {
 		c.exhausted = true
 		return nil
 	}
-	if err := c.loadBlock(c.blocks[c.cur]); err != nil {
-		return err
+	ref := c.blocks[c.cur]
+	if err := c.loadBlock(ref); err != nil {
+		if c.quar == nil {
+			return err
+		}
+		// Quarantine: retry transient errors, then skip the block. The
+		// cursor's buf/batch are already exhausted (advance only runs then),
+		// so leaving them untouched makes Next's loop re-advance past it.
+		if _, qerr := c.quar.handle(c.parts[ref.part], ref, err, func() error {
+			return c.loadBlock(ref)
+		}); qerr != nil {
+			return qerr
+		}
 	}
 	c.cur++
 	return nil
@@ -683,6 +710,10 @@ type blockResult struct {
 	rows  []value.Row
 	batch *vec.Batch
 	err   error
+	// skipped marks a quarantined block: the worker recorded it in the
+	// cursor's quarantine state and delivers an empty result so the ordered
+	// merge keeps flowing instead of canceling the pipeline.
+	skipped bool
 }
 
 // parallelScan runs the cursor's block list through a bounded worker pool,
@@ -756,6 +787,7 @@ func (c *Cursor) startParallel(workers int) {
 	blocks, parts := c.blocks, c.parts
 	decoded, pred, outIdx := c.decoded, c.pred, c.outIdx
 	outSchema, filter, identity := c.schema, c.filter, c.identity
+	quar := c.quar
 	go func() {
 		defer ps.wg.Done()
 		defer close(ps.out)
@@ -795,11 +827,29 @@ func (c *Cursor) startParallel(workers int) {
 					}
 					cloned[j.ref.part] = rs
 				}
-				var res blockResult
-				if filter != nil {
-					res.batch, res.err = decodeBlockVec(p, cloned[j.ref.part], j.ref.block, decoded, outSchema, filter, outIdx, identity, &vs)
-				} else {
-					res.rows, res.err = dec.decodeBlockRows(p, cloned[j.ref.part], j.ref.block, decoded, pred, outIdx, identity)
+				load := func() blockResult {
+					var res blockResult
+					if filter != nil {
+						res.batch, res.err = decodeBlockVec(p, cloned[j.ref.part], j.ref.block, decoded, outSchema, filter, outIdx, identity, &vs)
+					} else {
+						res.rows, res.err = dec.decodeBlockRows(p, cloned[j.ref.part], j.ref.block, decoded, pred, outIdx, identity)
+					}
+					return res
+				}
+				res := load()
+				if res.err != nil && quar != nil {
+					// Quarantine in the worker: retry transient errors, then
+					// record the skip and deliver an empty result so next()
+					// does not cancel the pipeline.
+					skipped, qerr := quar.handle(p, j.ref, res.err, func() error {
+						res = load()
+						return res.err
+					})
+					if skipped {
+						res = blockResult{skipped: true}
+					} else if qerr != nil {
+						res = blockResult{err: qerr}
+					}
 				}
 				j.ch <- res
 			}
@@ -907,7 +957,7 @@ func boundsOf(tab *catalog.Table) []transforms.GridBounds {
 // pruning (reorganization reads everything back), noZone disables zone-map
 // pruning only, noVec selects the boxed row-at-a-time executor.
 type storedScanOpts struct {
-	raw, noZone, noVec bool
+	raw, noZone, noVec, quarantine bool
 }
 
 // scanStored builds a cursor over the stored representation. fields nil
@@ -999,7 +1049,7 @@ func (e *Engine) scanStoredOpts(tab *catalog.Table, fields []string, pred algebr
 			return nil, err
 		}
 	}
-	return &Cursor{
+	c := &Cursor{
 		schema:   outSchema,
 		decoded:  decoded,
 		outIdx:   outIdx,
@@ -1008,7 +1058,11 @@ func (e *Engine) scanStoredOpts(tab *catalog.Table, fields []string, pred algebr
 		filter:   filter,
 		parts:    parts,
 		blocks:   blocks,
-	}, nil
+	}
+	if so.quarantine {
+		c.quar = newQuarState()
+	}
+	return c, nil
 }
 
 // buildPart opens readers for the segments of one part that hold decoded

@@ -74,6 +74,15 @@ type Manager struct {
 	// them are discarded. Set it before the first transaction.
 	BeforeCheckpoint func() error
 
+	// AfterCheckpoint, when set, runs at the end of every successful
+	// checkpoint, after the page file is synced and the log truncated. The
+	// engine hooks deferred extent freeing here: an extent a catalog update
+	// stopped referencing may only be reused once that update is durable —
+	// otherwise a crash could leave the old catalog authoritative while WAL
+	// replay rewrites the reallocated extent. Freeing after the checkpoint
+	// makes the failure mode a page leak, never corruption.
+	AfterCheckpoint func() error
+
 	// OnRecoverCatalog, when set, receives each committed catalog delta
 	// (wal.RecCatalog payload) during Recover, in log order. The engine
 	// hooks the catalog's ApplyTailAppend here. Set it before Recover.
@@ -151,6 +160,9 @@ func (m *Manager) checkpointLocked() error {
 	m.mu.Lock()
 	m.lastCkpt = time.Now()
 	m.mu.Unlock()
+	if m.AfterCheckpoint != nil {
+		return m.AfterCheckpoint()
+	}
 	return nil
 }
 

@@ -1,0 +1,294 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func openTemp(t *testing.T, fs FS, name string) File {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return f
+}
+
+func TestFaultBasicIO(t *testing.T) {
+	fs := NewFault(1)
+	f := openTemp(t, fs, "a")
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("read got %q", buf)
+	}
+	if sz, _ := f.Size(); sz != 11 {
+		t.Fatalf("size = %d, want 11", sz)
+	}
+	// Preallocated space reads as zeros and extends the size.
+	if err := f.Preallocate(1024); err != nil {
+		t.Fatalf("preallocate: %v", err)
+	}
+	if sz, _ := f.Size(); sz != 1024 {
+		t.Fatalf("size after preallocate = %d", sz)
+	}
+	zeros := make([]byte, 16)
+	if _, err := f.ReadAt(zeros, 500); err != nil {
+		t.Fatalf("read preallocated: %v", err)
+	}
+	for _, b := range zeros {
+		if b != 0 {
+			t.Fatalf("preallocated space not zero: %v", zeros)
+		}
+	}
+	// Reads past EOF follow the ReaderAt contract.
+	if n, err := f.ReadAt(buf, 1022); n != 2 || err != io.EOF {
+		t.Fatalf("read at tail: n=%d err=%v", n, err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if sz, _ := f.Size(); sz != 4 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+}
+
+func TestFaultCrashDropKeep(t *testing.T) {
+	fs := NewFault(2)
+	f := openTemp(t, fs, "a")
+	f.WriteAt([]byte("durable!"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	f.WriteAt([]byte("PENDING."), 8)
+
+	imgs := fs.SnapshotCrash(CrashDrop)
+	if got := string(imgs["a"].Data); got != "durable!" {
+		t.Fatalf("drop image = %q", got)
+	}
+	imgs = fs.SnapshotCrash(CrashKeep)
+	if got := string(imgs["a"].Data); got != "durable!PENDING." {
+		t.Fatalf("keep image = %q", got)
+	}
+
+	// A real crash resets live state too.
+	fs.Crash(CrashDrop)
+	if sz, _ := f.Size(); sz != 8 {
+		t.Fatalf("post-crash size = %d, want 8", sz)
+	}
+	buf := make([]byte, 8)
+	f.ReadAt(buf, 0)
+	if string(buf) != "durable!" {
+		t.Fatalf("post-crash content = %q", buf)
+	}
+}
+
+func TestFaultCrashTornPrefixes(t *testing.T) {
+	fs := NewFault(3)
+	f := openTemp(t, fs, "a")
+	f.Sync()
+	// One 4-sector write; torn crashes must keep 0..4 whole sectors.
+	payload := make([]byte, 4*SectorSize)
+	for i := range payload {
+		payload[i] = 0xCC
+	}
+	f.WriteAt(payload, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		img := fs.SnapshotCrash(CrashTorn)
+		n := len(img["a"].Data)
+		if n%SectorSize != 0 {
+			t.Fatalf("torn image not sector aligned: %d", n)
+		}
+		for j := 0; j < n; j++ {
+			if img["a"].Data[j] != 0xCC {
+				t.Fatalf("torn prefix corrupted at %d", j)
+			}
+		}
+		seen[n/SectorSize] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("torn prefixes not varied: %v", seen)
+	}
+}
+
+func TestFaultFsyncGate(t *testing.T) {
+	fs := NewFault(4)
+	failNext := false
+	fs.Inject = func(op Op) Decision {
+		if op.Kind == OpSync && failNext {
+			failNext = false
+			return Fail
+		}
+		return OK
+	}
+	f := openTemp(t, fs, "a")
+	f.WriteAt([]byte("base"), 0)
+	f.Sync()
+	f.WriteAt([]byte("lost"), 4)
+	failNext = true
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync should fail, got %v", err)
+	}
+	// Reads still see the data (page cache)...
+	buf := make([]byte, 8)
+	f.ReadAt(buf, 0)
+	if string(buf) != "baselost" {
+		t.Fatalf("post-gate read = %q", buf)
+	}
+	// ...the retried fsync "succeeds"...
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retried sync: %v", err)
+	}
+	// ...but the data never became durable.
+	img := fs.SnapshotCrash(CrashDrop)
+	if got := string(img["a"].Data); got != "base" {
+		t.Fatalf("durable after fsyncgate = %q, want %q", got, "base")
+	}
+	// New writes after the failed fsync do become durable.
+	f.WriteAt([]byte("new!"), 8)
+	f.Sync()
+	img = fs.SnapshotCrash(CrashDrop)
+	if got := string(img["a"].Data); got != "base\x00\x00\x00\x00new!" {
+		t.Fatalf("durable after new write = %q", got)
+	}
+}
+
+func TestFaultInjectWriteAndRead(t *testing.T) {
+	fs := NewFault(5)
+	var verdict Decision
+	fs.Inject = func(op Op) Decision {
+		if op.Kind == OpWrite || op.Kind == OpRead {
+			return verdict
+		}
+		return OK
+	}
+	f := openTemp(t, fs, "a")
+
+	verdict = Fail
+	if _, err := f.WriteAt(make([]byte, 10), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("failed write: %v", err)
+	}
+	if sz, _ := f.Size(); sz != 0 {
+		t.Fatalf("failed write mutated file: size=%d", sz)
+	}
+
+	verdict = Tear
+	payload := make([]byte, 3*SectorSize)
+	for i := range payload {
+		payload[i] = 1
+	}
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: %v", err)
+	}
+	if sz, _ := f.Size(); sz != SectorSize {
+		t.Fatalf("torn write kept %d bytes, want %d", sz, SectorSize)
+	}
+
+	verdict = OK
+	f.WriteAt(payload, 0)
+
+	verdict = ShortRead
+	buf := make([]byte, 100)
+	if n, err := f.ReadAt(buf, 0); n >= 100 || err == nil {
+		t.Fatalf("short read returned n=%d err=%v", n, err)
+	}
+
+	verdict = FlipBit
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("flipbit read: %v", err)
+	}
+	flipped := 0
+	for _, b := range buf {
+		if b != 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("flipbit flipped %d bytes", flipped)
+	}
+}
+
+func TestFaultImagesRoundTrip(t *testing.T) {
+	fs := NewFault(6)
+	f := openTemp(t, fs, "db")
+	f.WriteAt([]byte("content"), 0)
+	f.Preallocate(64)
+	f.Sync()
+	imgs := fs.SnapshotCrash(CrashDrop)
+
+	fs2 := NewFaultFromImages(1, imgs)
+	f2 := openTemp(t, fs2, "db")
+	if sz, _ := f2.Size(); sz != 64 {
+		t.Fatalf("restored size = %d, want 64", sz)
+	}
+	buf := make([]byte, 7)
+	f2.ReadAt(buf, 0)
+	if string(buf) != "content" {
+		t.Fatalf("restored content = %q", buf)
+	}
+
+	// Missing files fail without O_CREATE.
+	if _, err := fs2.OpenFile("nope", os.O_RDWR, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+}
+
+func TestFaultCorrupt(t *testing.T) {
+	fs := NewFault(7)
+	f := openTemp(t, fs, "a")
+	f.WriteAt(make([]byte, 100), 0)
+	f.Sync()
+	if n := fs.Corrupt("a", 10, 5); n != 5 {
+		t.Fatalf("corrupt count = %d", n)
+	}
+	buf := make([]byte, 100)
+	f.ReadAt(buf, 0)
+	for i, b := range buf {
+		want := byte(0)
+		if i >= 10 && i < 15 {
+			want = 0xA5
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+	// Corruption is at rest: it survives a crash image.
+	img := fs.SnapshotCrash(CrashDrop)
+	if img["a"].Data[12] != 0xA5 {
+		t.Fatalf("corruption lost in crash image")
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OS.OpenFile(dir+"/x", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Preallocate(4096); err != nil {
+		t.Fatalf("preallocate: %v", err)
+	}
+	if sz, _ := f.Size(); sz != 4096 {
+		t.Fatalf("size = %d", sz)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := OS.Remove(dir + "/x"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}

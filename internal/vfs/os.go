@@ -1,0 +1,40 @@
+package vfs
+
+import (
+	"os"
+
+	"rodentstore/internal/fsutil"
+)
+
+// OS is the production file system: thin adapters over *os.File.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f}, nil
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// osFile adds Size and Preallocate to *os.File's ReadAt/WriteAt/Sync/
+// Truncate/Close.
+type osFile struct {
+	*os.File
+}
+
+func (f *osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (f *osFile) Preallocate(size int64) error {
+	return fsutil.Preallocate(f.File, size)
+}

@@ -1,0 +1,48 @@
+// Package vfs is the file-system seam between RodentStore's storage layers
+// (pager, write-ahead log) and the operating system. Production code runs on
+// the OS implementation; crash-consistency and corruption tests run on Fault,
+// an in-memory implementation that models durability precisely (what survives
+// a power cut is what was written before the last successful sync) and can
+// inject the classic storage faults: failed or torn writes, fsync errors with
+// fsyncgate semantics, short or bit-flipped reads, and power cuts.
+//
+// The interface is positional-I/O only. RodentStore's pager and WAL never
+// seek — every read and write carries its own offset — so File deliberately
+// has no cursor, which keeps both implementations trivial to reason about
+// under concurrency.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the I/O surface the pager and the write-ahead log run on.
+// Implementations must support concurrent ReadAt/WriteAt calls on
+// non-overlapping ranges (the pager issues parallel page reads).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync makes all completed writes durable. After an error, the un-synced
+	// data may or may not be durable and the file should be considered
+	// suspect (see the fsyncgate discussion in internal/wal).
+	Sync() error
+	// Truncate changes the file size, zero-filling on extension.
+	Truncate(size int64) error
+	// Preallocate makes the file at least size bytes long with backing
+	// blocks reserved where the platform supports it. It never shrinks.
+	Preallocate(size int64) error
+	// Size returns the current file size in bytes.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS opens files. It is the factory the engine threads down to the pager
+// and the WAL; everything else about a database's I/O follows from it.
+type FS interface {
+	// OpenFile opens the named file with os.OpenFile-style flags
+	// (os.O_RDWR, os.O_CREATE, os.O_TRUNC, ...).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+}

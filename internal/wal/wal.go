@@ -23,6 +23,19 @@
 //     issues the fsync; every commit that was appended while the previous
 //     fsync was in flight is absorbed by the same fsync. Under W concurrent
 //     committers one disk sync acknowledges up to W commits.
+//
+// # The fsyncgate rule
+//
+// A failed fsync is treated as fatal for the log's file descriptor. On
+// Linux (and others), a failed fsync may mark the dirty pages clean without
+// having written them, so a retried fsync can report success while the data
+// never reached disk — the failure mode that cost PostgreSQL acknowledged
+// transactions ("fsyncgate", 2018). The log therefore latches the first
+// sync failure as ErrSyncFailed: every subsequent Sync/SyncTo/Flush returns
+// it without touching the file, no commit is ever acknowledged on a retried
+// fsync, and the only way forward is to close and reopen the log, which
+// re-reads the durable prefix from disk and re-establishes a truthful
+// logical end.
 package wal
 
 import (
@@ -35,9 +48,38 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"rodentstore/internal/fsutil"
 	"rodentstore/internal/pager"
+	"rodentstore/internal/vfs"
 )
+
+// ErrSyncFailed is the latched, typed form of the log's first fsync (or
+// append-write) failure. It wraps the first cause — later callers inspect
+// it with errors.As/Is — and means the log accepts no further durability
+// requests until it is reopened; see "The fsyncgate rule" above.
+type ErrSyncFailed struct {
+	Cause error
+}
+
+func (e *ErrSyncFailed) Error() string {
+	return fmt.Sprintf("wal: sync failed, log unusable until reopen: %v", e.Cause)
+}
+
+func (e *ErrSyncFailed) Unwrap() error { return e.Cause }
+
+// ErrCorruptRecord reports a structurally corrupt record frame that is NOT
+// a plain crash tail: well-formed records exist beyond it, so the log lost
+// data in its middle (media corruption, not a torn append). Recovery still
+// applies the torn-tail rule — everything from Off on is ignored — but
+// integrity checks surface this loudly because committed transactions after
+// Off are silently dropped by that rule.
+type ErrCorruptRecord struct {
+	Off    int64 // byte offset of the corrupt frame
+	Detail string
+}
+
+func (e *ErrCorruptRecord) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Off, e.Detail)
+}
 
 // RecordType tags log records.
 type RecordType uint8
@@ -79,7 +121,7 @@ const preallocBytes = 4 << 20
 // Log is an append-only record file. Methods are safe for concurrent use.
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    vfs.File
 	path string
 	size int64  // bytes written to the file (excludes wbuf)
 	wbuf []byte // encoded records not yet written to the file
@@ -92,11 +134,10 @@ type Log struct {
 	gcond   *sync.Cond
 	syncing bool   // a leader's fsync is in flight
 	synced  uint64 // highest append ticket known durable
-	// syncErr latches the first fsync failure. After a failed fsync the
-	// kernel may mark the dirty pages clean, so a retry can "succeed"
-	// without the data ever reaching disk (the fsyncgate problem); once
-	// set, every Sync/SyncTo/Flush fails until the log is reopened.
-	syncErr error
+	// syncErr latches the first fsync failure as *ErrSyncFailed (see "The
+	// fsyncgate rule" in the package comment); once set, every
+	// Sync/SyncTo/Flush fails until the log is reopened.
+	syncErr *ErrSyncFailed
 
 	// fsyncs counts physical fsync calls (group-commit leaders + Flush);
 	// comparing it with the number of commits shows the amortization.
@@ -108,9 +149,14 @@ type Log struct {
 // more slowly than the commit count.
 func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
 
-// Open opens (or creates) the log at path.
+// Open opens (or creates) the log at path on the OS file system.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenAt(vfs.OS, path)
+}
+
+// OpenAt opens (or creates) the log at path on the given file system.
+func OpenAt(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -127,7 +173,7 @@ func Open(path string) (*Log, error) {
 	if size > prealloc {
 		prealloc = size
 	}
-	_ = fsutil.Preallocate(f, prealloc)
+	_ = f.Preallocate(prealloc)
 	return l, nil
 }
 
@@ -137,7 +183,7 @@ func Open(path string) (*Log, error) {
 // the next append overwrites it, matching Scan's recovery rule). It reads
 // incrementally and stops at the first bad frame, so opening a log never
 // reads the (mostly zero) preallocated region into memory.
-func logicalSize(f *os.File) (int64, error) {
+func logicalSize(f vfs.File) (int64, error) {
 	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, 1<<62), 64<<10)
 	var off int64
 	var hdr [8]byte
@@ -264,15 +310,18 @@ func (l *Log) SyncTo(seq uint64) error {
 
 	l.gmu.Lock()
 	l.syncing = false
-	if err == nil && top > l.synced {
-		l.synced = top
-	} else if err != nil && l.syncErr == nil {
-		l.syncErr = err // latch: waiters must not retry on this fd
+	if err == nil {
+		if top > l.synced {
+			l.synced = top
+		}
+	} else {
+		if l.syncErr == nil {
+			l.syncErr = &ErrSyncFailed{Cause: err} // latch: no retries on this fd
+		}
+		err = l.syncErr // leader and waiters surface the same typed error
 	}
 	l.gcond.Broadcast()
 	l.gmu.Unlock()
-	// Waiters observe the latched error (or, for a pure write failure race,
-	// take the leader role and surface their own); we surface ours.
 	return err
 }
 
@@ -301,8 +350,11 @@ func (l *Log) Flush() error {
 		if top > l.synced {
 			l.synced = top
 		}
-	} else if l.syncErr == nil {
-		l.syncErr = err // same latch as SyncTo: no retries on this fd
+	} else {
+		if l.syncErr == nil {
+			l.syncErr = &ErrSyncFailed{Cause: err} // same latch as SyncTo
+		}
+		err = l.syncErr
 	}
 	l.gmu.Unlock()
 	return err
@@ -315,7 +367,7 @@ func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	_ = fsutil.Preallocate(l.f, preallocBytes) // fresh zeroed append space
+	_ = l.f.Preallocate(preallocBytes) // fresh zeroed append space
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync after truncate: %w", err)
 	}
@@ -358,11 +410,11 @@ func (l *Log) Scan() ([]Record, error) {
 	if err := l.flushBufLocked(); err != nil {
 		return nil, err
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("wal: seek: %w", err)
-	}
-	data, err := io.ReadAll(l.f)
-	if err != nil {
+	// The logical log is [0, l.size); anything beyond is preallocated
+	// append space (or a previously abandoned tail the next append will
+	// overwrite), which the frame walk would stop at anyway.
+	data := make([]byte, l.size)
+	if _, err := io.ReadFull(io.NewSectionReader(l.f, 0, l.size), data); err != nil {
 		return nil, fmt.Errorf("wal: read: %w", err)
 	}
 	var out []Record
@@ -389,6 +441,83 @@ func (l *Log) Scan() ([]Record, error) {
 		off += 8 + n
 	}
 	return out, nil
+}
+
+// VerifyReport summarizes a structural walk of the log file.
+type VerifyReport struct {
+	// Records is the number of well-formed frames from the start.
+	Records int
+	// LogicalEnd is where they stop.
+	LogicalEnd int64
+	// TailBytes is how many non-zero bytes follow LogicalEnd — a crash tail
+	// recovery ignores by the torn-tail rule. Nonzero is unremarkable after
+	// a crash; it only means the last append never committed.
+	TailBytes int
+}
+
+// Verify walks the log's frames and reports its structure. It returns an
+// *ErrCorruptRecord only for mid-log corruption: a well-formed frame found
+// beyond the point where the frame walk stopped, which means the torn-tail
+// rule is silently dropping committed records. (A plain torn tail — garbage
+// with nothing valid after it — is normal crash residue and is reported in
+// the VerifyReport, not as an error.)
+func (l *Log) Verify() (VerifyReport, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var rep VerifyReport
+	if err := l.flushBufLocked(); err != nil {
+		return rep, err
+	}
+	fileSize, err := l.f.Size()
+	if err != nil {
+		return rep, fmt.Errorf("wal: verify: %w", err)
+	}
+	data := make([]byte, fileSize)
+	if _, err := io.ReadFull(io.NewSectionReader(l.f, 0, fileSize), data); err != nil {
+		return rep, fmt.Errorf("wal: verify read: %w", err)
+	}
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < 17 || n > 64<<20 || off+8+n > len(data) {
+			break
+		}
+		if crc32.ChecksumIEEE(data[off+8:off+8+n]) != binary.LittleEndian.Uint32(data[off+4:]) {
+			break
+		}
+		rep.Records++
+		off += 8 + n
+	}
+	rep.LogicalEnd = int64(off)
+	for _, b := range data[off:] {
+		if b != 0 {
+			rep.TailBytes++
+		}
+	}
+	if rep.TailBytes == 0 {
+		return rep, nil
+	}
+	// Garbage after the logical end: a single torn append leaves nothing
+	// parseable behind it, so if a well-formed frame exists at any later
+	// offset the corruption is mid-log. Bound the search — this is an
+	// integrity check, not a recovery path.
+	limit := off + (1 << 20)
+	if limit > len(data) {
+		limit = len(data)
+	}
+	for cand := off + 1; cand+8 <= limit; cand++ {
+		n := int(binary.LittleEndian.Uint32(data[cand:]))
+		if n < 17 || n > 64<<20 || cand+8+n > len(data) {
+			continue
+		}
+		if crc32.ChecksumIEEE(data[cand+8:cand+8+n]) == binary.LittleEndian.Uint32(data[cand+4:]) {
+			return rep, &ErrCorruptRecord{
+				Off:    int64(off),
+				Detail: fmt.Sprintf("well-formed record at offset %d beyond corrupt region; committed records are being dropped", cand),
+			}
+		}
+	}
+	return rep, nil
 }
 
 // Recover replays the log: for every committed transaction, apply is called
