@@ -199,6 +199,30 @@ func BenchmarkFilteredScan(b *testing.B) {
 	}
 }
 
+// BenchmarkAggThroughput is Ext-13: pushed-down aggregation rows/sec —
+// count, sum, hash group-by and expression aggregates at 1% and 100%
+// selectivity, vectorized kernels (serial and morsel-parallel) vs the
+// boxed row-at-a-time oracle. Like Ext-11 it is a per-tuple CPU
+// comparison, meaningful on a single core; the parallel rows additionally
+// record GOMAXPROCS because their speedup is only meaningful beyond one
+// processor.
+func BenchmarkAggThroughput(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.N = 200_000
+	for i := 0; i < b.N; i++ {
+		results, err := bench.AggThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.RowsPerSec, "rows/sec:"+sanitize(r.Name))
+			if r.Mode != "boxed" {
+				b.ReportMetric(r.Speedup, "speedup:"+sanitize(r.Name))
+			}
+		}
+	}
+}
+
 // BenchmarkReorg is Ext-8: query cost before/after reorganization.
 func BenchmarkReorg(b *testing.B) {
 	cfg := benchConfig(b)

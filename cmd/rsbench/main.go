@@ -20,16 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"rodentstore/internal/bench"
 )
 
-var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter"}
+var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter", "agg"}
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|all")
+		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|agg|all")
 		n        = flag.Int("n", 1_000_000, "number of observations (paper: 10000000)")
 		queries  = flag.Int("queries", 200, "number of window queries (paper: 200)")
 		area     = flag.Float64("area", 0.01, "query area fraction (paper: 0.01)")
@@ -73,6 +74,8 @@ func main() {
 			return bench.IngestThroughput(cfg)
 		case "filter":
 			return bench.FilteredScan(cfg)
+		case "agg":
+			return bench.AggThroughput(cfg)
 		default:
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
@@ -109,7 +112,18 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(map[string]any{"config": cfg, "experiments": collected}); err != nil {
+		// Parallel speedups are meaningless without knowing the processor
+		// budget of the machine that produced the file, so every BENCH_*.json
+		// records it.
+		payload := map[string]any{
+			"config": cfg,
+			"runtime": map[string]any{
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+				"numcpu":     runtime.NumCPU(),
+			},
+			"experiments": collected,
+		}
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintf(os.Stderr, "rsbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -145,6 +159,8 @@ func title(cfg bench.Config, name string) string {
 		return "Ext-10: concurrent ingest throughput (group-commit WAL, staged inserts, background merge)"
 	case "filter":
 		return "Ext-11: filtered-scan selectivity sweep (vectorized batches vs boxed rows)"
+	case "agg":
+		return "Ext-13: aggregation throughput (vectorized kernels + morsel scheduler vs boxed rows)"
 	}
 	return name
 }
@@ -167,8 +183,25 @@ func print(name string, data any) error {
 		return printIngest(data.([]bench.IngestResult))
 	case "filter":
 		return printFilter(data.([]bench.FilterResult))
+	case "agg":
+		return printAgg(data.([]bench.AggResult))
 	}
 	return fmt.Errorf("no printer for %q", name)
+}
+
+func printAgg(results []bench.AggResult) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\taggregate\tselectivity\tmode\tprocs\trows\tgroups\tms\trows/sec\tvs boxed\tvs serial")
+	for _, r := range results {
+		procs, parSpeed := "", ""
+		if r.Mode == "parallel" {
+			procs = fmt.Sprintf("%d", r.Gomaxprocs)
+			parSpeed = fmt.Sprintf("%.2fx", r.ParallelSpeedup)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.0f%%\t%s\t%s\t%d\t%d\t%.1f\t%.0f\t%.2fx\t%s\n",
+			r.Name, r.Agg, r.Selectivity*100, r.Mode, procs, r.Rows, r.Groups, r.Ms, r.RowsPerSec, r.Speedup, parSpeed)
+	}
+	return w.Flush()
 }
 
 func printFilter(results []bench.FilterResult) error {

@@ -81,6 +81,9 @@ func execute(db *rodentstore.DB, line string) error {
   load <table> <file.csv>              bulk-load CSV (header optional)
   insert <table> v1,v2,...             insert one row
   scan <table> [fields a,b] [where <pred>] [order <keys>] [limit n]
+  count <table> [where <pred>]         row count via the aggregate path
+  summary <table> <agg>[,<agg>...] [by <cols>] [where <pred>]
+                                       e.g. summary T sum(qty*price),avg(lat) by id
   cost <table> [fields a,b] [where <pred>]   estimate without running
   layout <table>                       show layout
   layout <table> <expr> [lazy]         alter layout (eager by default)
@@ -104,6 +107,10 @@ func execute(db *rodentstore.DB, line string) error {
 		return cmdInsert(db, rest)
 	case "scan":
 		return cmdScan(db, rest)
+	case "count":
+		return cmdCount(db, rest)
+	case "summary":
+		return cmdSummary(db, rest)
 	case "cost":
 		table, q, err := parseQuery(rest)
 		if err != nil {
@@ -385,24 +392,111 @@ func cmdScan(db *rodentstore.DB, rest string) error {
 	}
 	fmt.Println(strings.Join(names, "\t"))
 	count := 0
-	for {
+	for limit < 0 || count < limit {
 		row, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("(%d rows)\n", count)
+			return nil
+		}
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+		count++
+	}
+	// Past the limit we only need the row count: drain batch-at-a-time
+	// instead of boxing every remaining row through Next.
+	for {
+		b, ok, err := cur.NextBatch()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		if limit < 0 || count < limit {
-			parts := make([]string, len(row))
-			for i, v := range row {
-				parts[i] = v.String()
-			}
-			fmt.Println(strings.Join(parts, "\t"))
-		}
-		count++
+		count += b.Len()
 	}
 	fmt.Printf("(%d rows)\n", count)
+	return nil
+}
+
+// cmdCount runs `count <table> [where <pred>]` through the aggregate path:
+// no row is materialized, and a bare count reads only block metadata.
+func cmdCount(db *rodentstore.DB, rest string) error {
+	table, q, err := parseQuery(rest)
+	if err != nil {
+		return err
+	}
+	if len(q.Fields) > 0 || q.OrderBy != "" {
+		return fmt.Errorf("usage: count <table> [where <pred>]")
+	}
+	q.Aggregate = &rodentstore.AggregateSpec{Aggs: []string{"count"}}
+	cur, err := db.Scan(table, q)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	rows, err := cur.All()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d\n", rows[0][0].Int())
+	return nil
+}
+
+// cmdSummary runs `summary <table> <agg>[,<agg>...] [by <cols>] [where
+// <pred>]`, e.g. `summary trips sum(qty*price),avg(lat) by id where lat > 0`.
+func cmdSummary(db *rodentstore.DB, rest string) error {
+	table, rest, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	rest = strings.TrimSpace(rest)
+	if table == "" || rest == "" {
+		return fmt.Errorf("usage: summary <table> <agg>[,<agg>...] [by <cols>] [where <pred>]")
+	}
+	var q rodentstore.Query
+	low := strings.ToLower(rest)
+	if i := strings.Index(low, " where "); i >= 0 {
+		q.Where = strings.TrimSpace(rest[i+7:])
+		rest = strings.TrimSpace(rest[:i])
+		low = strings.ToLower(rest)
+	}
+	spec := &rodentstore.AggregateSpec{}
+	if i := strings.Index(low, " by "); i >= 0 {
+		for _, c := range strings.Split(rest[i+4:], ",") {
+			spec.GroupBy = append(spec.GroupBy, strings.TrimSpace(c))
+		}
+		rest = strings.TrimSpace(rest[:i])
+	}
+	for _, a := range strings.Split(rest, ",") {
+		spec.Aggs = append(spec.Aggs, strings.TrimSpace(a))
+	}
+	q.Aggregate = spec
+	cur, err := db.Scan(table, q)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	fields := cur.Schema()
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = f.Name
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	rows, err := cur.All()
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%d groups)\n", len(rows))
 	return nil
 }
 

@@ -96,6 +96,25 @@ type Query struct {
 	// default — an unreadable extent fails the scan with a typed corruption
 	// error.
 	Quarantine bool
+	// Aggregate turns the scan into an aggregation: the cursor yields one
+	// row per group (one row total without GroupBy) instead of matching
+	// rows, computed with the vectorized kernels — no input row is ever
+	// materialized. Mutually exclusive with Fields and OrderBy (groups come
+	// sorted by key). Results are bit-identical across serial and parallel
+	// executors, floats included.
+	Aggregate *AggregateSpec
+}
+
+// AggregateSpec describes a pushed-down aggregation.
+type AggregateSpec struct {
+	// GroupBy lists stored columns to group on (empty = one global group).
+	GroupBy []string
+	// Aggs are the aggregate outputs: "count" or "count(*)", and
+	// sum/min/max/avg over an arithmetic expression of numeric columns,
+	// e.g. "sum(qty * price)", "avg(lat)", "min(a - b) as closest".
+	// count(expr) counts non-null expression values; sum/min/max/avg skip
+	// nulls and return null when no non-null input exists.
+	Aggs []string
 }
 
 func (q Query) toOptions() (table.ScanOptions, error) {
@@ -117,6 +136,17 @@ func (q Query) toOptions() (table.ScanOptions, error) {
 			return opts, err
 		}
 		opts.Order = keys
+	}
+	if q.Aggregate != nil {
+		spec := &table.AggSpec{GroupBy: q.Aggregate.GroupBy}
+		for _, s := range q.Aggregate.Aggs {
+			item, err := table.ParseAggItem(s)
+			if err != nil {
+				return opts, err
+			}
+			spec.Items = append(spec.Items, item)
+		}
+		opts.Aggregate = spec
 	}
 	return opts, nil
 }

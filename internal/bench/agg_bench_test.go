@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+func TestAggThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig(t)
+	results, err := AggThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 aggregate shapes × selectivities × (boxed, vectorized, parallel).
+	want := 4 * len(AggSelectivities) * 3
+	if len(results) != want {
+		t.Fatalf("results: %d, want %d", len(results), want)
+	}
+	for i := 0; i < len(results); i += 3 {
+		boxed, vect, par := results[i], results[i+1], results[i+2]
+		if boxed.Mode != "boxed" || vect.Mode != "vectorized" || par.Mode != "parallel" {
+			t.Fatalf("triple %d: mode order %s/%s/%s", i, boxed.Mode, vect.Mode, par.Mode)
+		}
+		// The three executors are differential twins: same group count.
+		if boxed.Groups != vect.Groups || vect.Groups != par.Groups {
+			t.Errorf("%s: groups %d/%d/%d diverge", boxed.Agg, boxed.Groups, vect.Groups, par.Groups)
+		}
+		if boxed.Rows != int64(cfg.N) {
+			t.Errorf("%s: scanned %d rows, want %d", boxed.Name, boxed.Rows, cfg.N)
+		}
+		if vect.Speedup <= 0 || par.Speedup <= 0 {
+			t.Errorf("%s: speedups %v/%v", boxed.Agg, vect.Speedup, par.Speedup)
+		}
+		if par.Gomaxprocs < 1 {
+			t.Errorf("%s: parallel run did not record GOMAXPROCS", par.Name)
+		}
+		if boxed.Agg == "group-by" && boxed.Groups != 64 {
+			t.Errorf("group-by groups: %d, want 64", boxed.Groups)
+		}
+		if boxed.Agg != "group-by" && boxed.Groups != 1 {
+			t.Errorf("%s groups: %d, want 1", boxed.Agg, boxed.Groups)
+		}
+	}
+}

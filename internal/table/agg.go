@@ -1,0 +1,831 @@
+package table
+
+// Aggregation pushed below the cursor: an AggSpec on ScanOptions turns the
+// scan into count/sum/min/max/avg (optionally grouped by stored columns)
+// computed block-at-a-time with the vectorized kernels in internal/vec —
+// no row is ever materialized, and a bare count(*) with no predicate reads
+// no data pages at all (block metadata carries the row counts).
+//
+// Determinism: every executor variant — serial or parallel, vectorized or
+// NoVectorize — produces bit-identical results, floats included. The
+// invariant that makes this true: each block folds into its own partial
+// state, and partials merge into the final state in stored block order, so
+// float sums always reduce in the same association. The parallel pipeline's
+// ordered merge provides exactly that order; the serial loop follows the
+// same two-level shape instead of folding rows straight into the final
+// state.
+//
+// Null semantics are SQL-ish: count(*) counts rows; count/sum/min/max/avg
+// over an expression skip null inputs and return null (count: 0) when no
+// non-null input exists. Output groups are sorted by key, ascending.
+
+import (
+	"fmt"
+	"strings"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/segment"
+	"rodentstore/internal/value"
+	"rodentstore/internal/vec"
+)
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc uint8
+
+const (
+	// AggCount counts rows (Expr nil) or non-null expression values.
+	AggCount AggFunc = iota
+	// AggSum sums expression values (int64 sums wrap).
+	AggSum
+	// AggMin takes the minimum expression value.
+	AggMin
+	// AggMax takes the maximum expression value.
+	AggMax
+	// AggAvg averages expression values (always a float).
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("aggfunc(%d)", uint8(f))
+}
+
+// AggItem is one aggregate output: Func over Expr (nil Expr = count(*)).
+type AggItem struct {
+	Func AggFunc
+	Expr algebra.ScalarExpr
+	// Name is the output column name; "" derives "func(expr)".
+	Name string
+}
+
+// AggSpec turns a scan into an aggregation: one output row per distinct
+// GroupBy key tuple (one row total when GroupBy is empty), sorted by key.
+type AggSpec struct {
+	// GroupBy lists stored columns to group on (empty = one global group).
+	GroupBy []string
+	// Items are the aggregate outputs, after the group keys.
+	Items []AggItem
+}
+
+// ParseAggItem parses an aggregate string: "count", "count(*)",
+// "sum(a*b)", "avg(price - cost) as margin", ...
+func ParseAggItem(s string) (AggItem, error) {
+	var item AggItem
+	s = strings.TrimSpace(s)
+	if i := strings.LastIndex(strings.ToLower(s), " as "); i >= 0 {
+		item.Name = strings.TrimSpace(s[i+4:])
+		s = strings.TrimSpace(s[:i])
+	}
+	open := strings.IndexByte(s, '(')
+	fn, arg := s, ""
+	if open >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return item, fmt.Errorf("table: aggregate %q: missing ')'", s)
+		}
+		fn, arg = s[:open], strings.TrimSpace(s[open+1:len(s)-1])
+	}
+	switch strings.ToLower(strings.TrimSpace(fn)) {
+	case "count":
+		item.Func = AggCount
+	case "sum":
+		item.Func = AggSum
+	case "min":
+		item.Func = AggMin
+	case "max":
+		item.Func = AggMax
+	case "avg":
+		item.Func = AggAvg
+	default:
+		return item, fmt.Errorf("table: unknown aggregate function %q (want count/sum/min/max/avg)", fn)
+	}
+	if arg == "" || arg == "*" {
+		if item.Func != AggCount {
+			return item, fmt.Errorf("table: %s needs an expression argument", item.Func)
+		}
+		return item, nil
+	}
+	expr, err := algebra.ParseScalarExpr(arg)
+	if err != nil {
+		return item, err
+	}
+	item.Expr = expr
+	return item, nil
+}
+
+// outName is the item's output column name.
+func (a AggItem) outName() string {
+	if a.Name != "" {
+		return a.Name
+	}
+	if a.Expr == nil {
+		return "count"
+	}
+	return a.Func.String() + "(" + a.Expr.String() + ")"
+}
+
+// ScanFields returns the stored columns the spec reads (group keys plus
+// expression inputs), deduplicated in first-use order.
+func (s *AggSpec) ScanFields() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, f := range s.GroupBy {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, it := range s.Items {
+		if it.Expr == nil {
+			continue
+		}
+		for _, f := range algebra.ExprFields(it.Expr) {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// aggItemExec is one compiled aggregate output.
+type aggItemExec struct {
+	fn   AggFunc
+	expr algebra.ScalarExpr    // nil for count(*)
+	ce   *algebra.CompiledExpr // vectorized evaluator; nil for count(*) or boxed mode
+	kind value.Kind            // expression result kind (Int/Float); Int for count(*)
+}
+
+// aggExec is an AggSpec compiled against a cursor's decoded schema.
+type aggExec struct {
+	spec      *AggSpec
+	decoded   *value.Schema
+	pred      algebra.Predicate
+	keyIdx    []int // group-by column positions in decoded
+	keySchema *value.Schema
+	items     []aggItemExec
+	out       *value.Schema
+	boxed     bool
+}
+
+// buildAggExec compiles spec against the decoded schema. boxed selects the
+// row-at-a-time oracle executor (ScanOptions.NoVectorize).
+func buildAggExec(spec *AggSpec, decoded *value.Schema, pred algebra.Predicate, boxed bool) (*aggExec, error) {
+	if len(spec.Items) == 0 {
+		return nil, fmt.Errorf("table: aggregate spec has no items")
+	}
+	ex := &aggExec{spec: spec, decoded: decoded, pred: pred, boxed: boxed}
+	var outFields []value.Field
+	for _, name := range spec.GroupBy {
+		di := decoded.Index(name)
+		if di < 0 {
+			return nil, fmt.Errorf("table: group-by field %q not in scan schema", name)
+		}
+		ex.keyIdx = append(ex.keyIdx, di)
+		outFields = append(outFields, decoded.Fields[di])
+	}
+	if len(ex.keyIdx) > 0 {
+		ks, err := value.NewSchema(outFields[:len(ex.keyIdx)]...)
+		if err != nil {
+			return nil, err
+		}
+		ex.keySchema = ks
+	}
+	for _, it := range spec.Items {
+		ie := aggItemExec{fn: it.Func, expr: it.Expr, kind: value.Int}
+		if it.Expr != nil {
+			kind, err := algebra.ExprType(it.Expr, decoded)
+			if err != nil {
+				return nil, err
+			}
+			ie.kind = kind
+			if !boxed {
+				ce, err := algebra.CompileExpr(it.Expr, decoded)
+				if err != nil {
+					return nil, err
+				}
+				ie.ce = ce
+			}
+		} else if it.Func != AggCount {
+			return nil, fmt.Errorf("table: %s needs an expression", it.Func)
+		}
+		outKind := ie.kind
+		switch it.Func {
+		case AggCount:
+			outKind = value.Int
+		case AggAvg:
+			outKind = value.Float
+		}
+		outFields = append(outFields, value.Field{Name: it.outName(), Type: outKind})
+		ex.items = append(ex.items, ie)
+	}
+	out, err := value.NewSchema(outFields...)
+	if err != nil {
+		return nil, fmt.Errorf("table: aggregate outputs collide: %w (name them with \"... as alias\")", err)
+	}
+	ex.out = out
+	return ex, nil
+}
+
+// aggAcc is one item's per-group accumulators, indexed by dense group id.
+// count tracks non-null inputs (rows for count(*)); count == 0 doubles as
+// the "min/max unseen" sentinel.
+type aggAcc struct {
+	sumI       []int64
+	sumF       []float64
+	minI, maxI []int64
+	minF, maxF []float64
+	count      []int64
+}
+
+// grow extends the accumulators to n groups (zero-valued).
+func (a *aggAcc) grow(it *aggItemExec, n int) {
+	for len(a.count) < n {
+		a.count = append(a.count, 0)
+	}
+	if it.expr == nil {
+		return
+	}
+	isFloat := it.kind == value.Float
+	switch it.fn {
+	case AggSum, AggAvg:
+		if isFloat {
+			for len(a.sumF) < n {
+				a.sumF = append(a.sumF, 0)
+			}
+		} else {
+			for len(a.sumI) < n {
+				a.sumI = append(a.sumI, 0)
+			}
+		}
+	case AggMin, AggMax:
+		if isFloat {
+			for len(a.minF) < n {
+				a.minF = append(a.minF, 0)
+				a.maxF = append(a.maxF, 0)
+			}
+		} else {
+			for len(a.minI) < n {
+				a.minI = append(a.minI, 0)
+				a.maxI = append(a.maxI, 0)
+			}
+		}
+	}
+}
+
+// aggState is one aggregation state: a per-block partial or the final fold.
+type aggState struct {
+	// gt holds the typed group table (vectorized grouped mode).
+	gt *vec.GroupTable
+	// keys/kidx hold the boxed grouping (NoVectorize grouped mode): distinct
+	// key tuples in first-seen order and a hash index over them.
+	keys []value.Row
+	kidx map[uint64][]int32
+	// accs holds the per-item accumulators, parallel to exec.items.
+	accs []aggAcc
+}
+
+// newState allocates a state for the exec.
+func (ex *aggExec) newState() *aggState {
+	st := &aggState{accs: make([]aggAcc, len(ex.items))}
+	if len(ex.keyIdx) > 0 {
+		if ex.boxed {
+			st.kidx = make(map[uint64][]int32)
+		} else {
+			st.gt = vec.NewGroupTable(ex.keySchema)
+		}
+	} else {
+		// Ungrouped: exactly one group, present even with zero input rows.
+		for i := range st.accs {
+			st.accs[i].grow(&ex.items[i], 1)
+		}
+	}
+	return st
+}
+
+// ngroups returns the number of groups in the state.
+func (st *aggState) ngroups(ex *aggExec) int {
+	if len(ex.keyIdx) == 0 {
+		return 1
+	}
+	if ex.boxed {
+		return len(st.keys)
+	}
+	return st.gt.Len()
+}
+
+// aggScratch is one goroutine's reusable aggregation scratch.
+type aggScratch struct {
+	es      algebra.ExprScratch
+	eval    vec.Vector
+	gids    []int32
+	mapping []int32
+	keyCols []*vec.Vector
+	keyBuf  value.Row
+}
+
+// observeBlock folds one block into a fresh partial state, choosing the
+// vectorized or boxed executor.
+func (ex *aggExec) observeBlock(p *part, readers []*segment.Reader, block int, filter *algebra.CompiledPred, vs *vecScratch, dec *rowDecoder, as *aggScratch) (*aggState, error) {
+	if ex.boxed {
+		return ex.observeBlockBoxed(p, readers, block, dec)
+	}
+	return ex.observeBlockVec(p, readers, block, filter, vs, as)
+}
+
+// observeBlockVec is the vectorized block fold: decode predicate columns,
+// filter to a selection vector, decode only the key/input columns, assign
+// group ids with the typed hash table, and run the typed kernels. Columns
+// nothing needs are never decoded; when nothing at all is needed (bare
+// count(*), no predicate) the block's pages are never read.
+func (ex *aggExec) observeBlockVec(p *part, readers []*segment.Reader, block int, filter *algebra.CompiledPred, vs *vecScratch, as *aggScratch) (*aggState, error) {
+	nrows := blockRowCount(p, block)
+	if cap(vs.views) < len(p.entries) {
+		vs.views = make([]*segment.BlockView, len(p.entries))
+	}
+	views := vs.views[:len(p.entries)]
+	for si := range views {
+		views[si] = nil
+	}
+	dec := batchPool.Get(ex.decoded)
+	defer batchPool.Put(dec)
+	if cap(vs.done) < ex.decoded.Arity() {
+		vs.done = make([]bool, ex.decoded.Arity())
+	}
+	done := vs.done[:ex.decoded.Arity()]
+	for i := range done {
+		done[i] = false
+	}
+	// decodeInto fetches the owning segment's block bytes on first use, so a
+	// fold that needs no columns performs no reads.
+	decodeInto := func(di int) error {
+		if done[di] {
+			return nil
+		}
+		loc := p.fieldSeg[ex.decoded.Fields[di].Name]
+		if views[loc[0]] == nil {
+			bv, err := readers[loc[0]].View(block)
+			if err != nil {
+				return err
+			}
+			if bv.Rows() != nrows {
+				return fmt.Errorf("table: block %d: segment %d holds %d rows, block metadata says %d",
+					block, loc[0], bv.Rows(), nrows)
+			}
+			views[loc[0]] = bv
+		}
+		if err := views[loc[0]].DecodeCol(loc[1], &dec.Cols[di]); err != nil {
+			return err
+		}
+		done[di] = true
+		return nil
+	}
+	for _, di := range filter.Columns() {
+		if err := decodeInto(di); err != nil {
+			return nil, err
+		}
+	}
+	nsel := nrows
+	var sel []int32
+	if !filter.Empty() {
+		vs.sel = vec.FillSel(vs.sel, nrows)
+		vs.sel = filter.Filter(dec, vs.sel)
+		nsel = len(vs.sel)
+		if nsel < nrows {
+			sel = vs.sel
+		}
+	}
+	st := ex.newState()
+	if nsel == 0 {
+		return st, nil
+	}
+	for _, di := range ex.keyIdx {
+		if err := decodeInto(di); err != nil {
+			return nil, err
+		}
+	}
+	for i := range ex.items {
+		if ex.items[i].ce == nil {
+			continue
+		}
+		for _, di := range ex.items[i].ce.Columns() {
+			if err := decodeInto(di); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var gids []int32
+	if len(ex.keyIdx) > 0 {
+		as.keyCols = as.keyCols[:0]
+		for _, di := range ex.keyIdx {
+			as.keyCols = append(as.keyCols, &dec.Cols[di])
+		}
+		as.gids = st.gt.GroupIDs(as.keyCols, sel, nrows, as.gids[:0])
+		gids = as.gids
+	}
+	ngroups := st.ngroups(ex)
+	for ii := range ex.items {
+		it := &ex.items[ii]
+		acc := &st.accs[ii]
+		acc.grow(it, ngroups)
+		if it.ce == nil {
+			// count(*): selected rows per group; no column input.
+			if gids == nil {
+				acc.count[0] += int64(nsel)
+			} else {
+				vec.CountRowsGroups(nsel, nil, gids, acc.count)
+			}
+			continue
+		}
+		// Evaluate the expression densely over the selection: slot k of the
+		// result belongs to selected row k, parallel to gids.
+		if err := it.ce.EvalVec(dec, nrows, sel, &as.eval, &as.es); err != nil {
+			return nil, err
+		}
+		ev := &as.eval
+		isFloat := it.kind == value.Float
+		switch it.fn {
+		case AggCount:
+			if gids == nil {
+				acc.count[0] += vec.CountNonNull(ev.Len(), &ev.Nulls, nil)
+			} else {
+				vec.CountNonNullGroups(ev.Len(), &ev.Nulls, nil, gids, acc.count)
+			}
+		case AggSum, AggAvg:
+			switch {
+			case gids == nil && isFloat:
+				s, n := vec.SumFloat64(ev.Float64s, &ev.Nulls, nil)
+				acc.sumF[0] += s
+				acc.count[0] += n
+			case gids == nil:
+				s, n := vec.SumInt64(ev.Int64s, &ev.Nulls, nil)
+				acc.sumI[0] += s
+				acc.count[0] += n
+			case isFloat:
+				vec.SumFloat64Groups(ev.Float64s, &ev.Nulls, nil, gids, acc.sumF, acc.count)
+			default:
+				vec.SumInt64Groups(ev.Int64s, &ev.Nulls, nil, gids, acc.sumI, acc.count)
+			}
+		case AggMin, AggMax:
+			switch {
+			case gids == nil && isFloat:
+				mn, mx, n := vec.MinMaxFloat64(ev.Float64s, &ev.Nulls, nil)
+				acc.foldMinMaxF(0, mn, mx, n)
+			case gids == nil:
+				mn, mx, n := vec.MinMaxInt64(ev.Int64s, &ev.Nulls, nil)
+				acc.foldMinMaxI(0, mn, mx, n)
+			case isFloat:
+				vec.MinMaxFloat64Groups(ev.Float64s, &ev.Nulls, nil, gids, acc.minF, acc.maxF, acc.count)
+			default:
+				vec.MinMaxInt64Groups(ev.Int64s, &ev.Nulls, nil, gids, acc.minI, acc.maxI, acc.count)
+			}
+		}
+	}
+	return st, nil
+}
+
+// foldMinMaxI folds a (min, max, count) summary into group g.
+func (a *aggAcc) foldMinMaxI(g int, mn, mx, n int64) {
+	if n == 0 {
+		return
+	}
+	if a.count[g] == 0 {
+		a.minI[g], a.maxI[g] = mn, mx
+	} else {
+		if mn < a.minI[g] {
+			a.minI[g] = mn
+		}
+		if mx > a.maxI[g] {
+			a.maxI[g] = mx
+		}
+	}
+	a.count[g] += n
+}
+
+// foldMinMaxF folds a float (min, max, count) summary into group g under
+// value.CompareFloats ordering.
+func (a *aggAcc) foldMinMaxF(g int, mn, mx float64, n int64) {
+	if n == 0 {
+		return
+	}
+	if a.count[g] == 0 {
+		a.minF[g], a.maxF[g] = mn, mx
+	} else {
+		if value.CompareFloats(mn, a.minF[g]) < 0 {
+			a.minF[g] = mn
+		}
+		if value.CompareFloats(mx, a.maxF[g]) > 0 {
+			a.maxF[g] = mx
+		}
+	}
+	a.count[g] += n
+}
+
+// observeBlockBoxed is the row-at-a-time oracle fold: decode boxed rows,
+// filter with Predicate.Eval, evaluate expressions with EvalScalar, and
+// accumulate per row. Same results as observeBlockVec, bit for bit.
+func (ex *aggExec) observeBlockBoxed(p *part, readers []*segment.Reader, block int, dec *rowDecoder) (*aggState, error) {
+	rows, err := dec.decodeBlockRows(p, readers, block, ex.decoded, ex.pred, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	st := ex.newState()
+	var key value.Row
+	for _, row := range rows {
+		g := 0
+		if len(ex.keyIdx) > 0 {
+			key = key[:0]
+			for _, di := range ex.keyIdx {
+				key = append(key, row[di])
+			}
+			g = st.boxedGroupID(ex, key)
+		}
+		for ii := range ex.items {
+			it := &ex.items[ii]
+			acc := &st.accs[ii]
+			acc.grow(it, g+1)
+			if it.expr == nil {
+				acc.count[g]++
+				continue
+			}
+			v, err := algebra.EvalScalar(it.expr, ex.decoded, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			switch it.fn {
+			case AggCount:
+				acc.count[g]++
+			case AggSum, AggAvg:
+				if it.kind == value.Float {
+					acc.sumF[g] += v.Float()
+				} else {
+					acc.sumI[g] += v.Int()
+				}
+				acc.count[g]++
+			case AggMin, AggMax:
+				if it.kind == value.Float {
+					acc.foldMinMaxF(g, v.Float(), v.Float(), 1)
+				} else {
+					acc.foldMinMaxI(g, v.Int(), v.Int(), 1)
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// boxedGroupID finds or inserts a boxed key tuple. Hashing canonicalizes
+// float keys (-0 -> +0, one NaN) so it is consistent with value.Equal.
+func (st *aggState) boxedGroupID(ex *aggExec, key value.Row) int {
+	h := boxedKeyHash(key)
+	for _, cand := range st.kidx[h] {
+		if rowsEqualKeys(st.keys[cand], key) {
+			return int(cand)
+		}
+	}
+	id := int32(len(st.keys))
+	st.keys = append(st.keys, key.Clone())
+	st.kidx[h] = append(st.kidx[h], id)
+	return int(id)
+}
+
+func rowsEqualKeys(a, b value.Row) bool {
+	for i := range a {
+		if !value.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// boxedKeyHash hashes a key tuple consistently with value.Equal: floats
+// canonicalize -0 and NaN; integral floats are distinct from ints only
+// across kinds, which cannot collide within one typed column.
+func boxedKeyHash(key value.Row) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range key {
+		var cell uint64
+		switch v.Kind() {
+		case value.Null:
+			cell = 0x9e3779b97f4a7c15
+		case value.Int, value.Bool:
+			cell = mixCell(uint64(v.Int()))
+		case value.Float:
+			cell = mixCell(vec.CanonicalFloatBits(v.Float()))
+		default:
+			cell = v.Hash()
+		}
+		h = mixCell(h ^ cell)
+	}
+	return h
+}
+
+// mixCell is the SplitMix64 finalizer (same mixing as vec's GroupTable).
+func mixCell(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// merge folds a partial state into st. Partials must be merged in stored
+// block order — that order is what makes float sums deterministic across
+// executors.
+func (st *aggState) merge(ex *aggExec, part *aggState, as *aggScratch) {
+	if len(ex.keyIdx) == 0 {
+		for ii := range ex.items {
+			st.accs[ii].mergeGroup(&ex.items[ii], 0, &part.accs[ii], 0)
+		}
+		return
+	}
+	if ex.boxed {
+		for lg, key := range part.keys {
+			fg := st.boxedGroupID(ex, key)
+			for ii := range ex.items {
+				st.accs[ii].grow(&ex.items[ii], fg+1)
+				st.accs[ii].mergeGroup(&ex.items[ii], fg, &part.accs[ii], lg)
+			}
+		}
+		return
+	}
+	n := part.gt.Len()
+	if n == 0 {
+		return
+	}
+	// Re-key the partial's groups into the final table: the mapping from
+	// local to final group ids is just GroupIDs over the stored key tuples.
+	as.mapping = st.gt.GroupIDs(part.gt.KeyCols(), nil, n, as.mapping[:0])
+	ngroups := st.gt.Len()
+	for ii := range ex.items {
+		st.accs[ii].grow(&ex.items[ii], ngroups)
+		for lg, fg := range as.mapping {
+			st.accs[ii].mergeGroup(&ex.items[ii], int(fg), &part.accs[ii], lg)
+		}
+	}
+}
+
+// mergeGroup folds one partial group into one final group.
+func (a *aggAcc) mergeGroup(it *aggItemExec, fg int, p *aggAcc, lg int) {
+	if p.count[lg] == 0 {
+		return
+	}
+	switch it.fn {
+	case AggCount:
+		a.count[fg] += p.count[lg]
+	case AggSum, AggAvg:
+		if it.kind == value.Float {
+			a.sumF[fg] += p.sumF[lg]
+		} else {
+			a.sumI[fg] += p.sumI[lg]
+		}
+		a.count[fg] += p.count[lg]
+	case AggMin, AggMax:
+		if it.kind == value.Float {
+			a.foldMinMaxF(fg, p.minF[lg], p.maxF[lg], p.count[lg])
+		} else {
+			a.foldMinMaxI(fg, p.minI[lg], p.maxI[lg], p.count[lg])
+		}
+	}
+}
+
+// resultRows materializes the final state as boxed rows under ex.out,
+// sorted ascending by the group key columns.
+func (ex *aggExec) resultRows(st *aggState) []value.Row {
+	n := st.ngroups(ex)
+	if len(ex.keyIdx) > 0 && !ex.boxed {
+		// Late-created groups may not have grown every accumulator.
+		for ii := range ex.items {
+			st.accs[ii].grow(&ex.items[ii], n)
+		}
+	}
+	rows := make([]value.Row, 0, n)
+	for g := 0; g < n; g++ {
+		row := make(value.Row, ex.out.Arity())
+		for ki := range ex.keyIdx {
+			if ex.boxed {
+				row[ki] = st.keys[g][ki]
+			} else {
+				row[ki] = st.gt.Keys().Cols[ki].Value(g)
+			}
+		}
+		base := len(ex.keyIdx)
+		for ii := range ex.items {
+			row[base+ii] = ex.items[ii].finalize(&st.accs[ii], g)
+		}
+		rows = append(rows, row)
+	}
+	if len(ex.keyIdx) > 0 {
+		keys := make([]int, len(ex.keyIdx))
+		for i := range keys {
+			keys[i] = i
+		}
+		value.SortRows(rows, keys, nil)
+	}
+	return rows
+}
+
+// finalize boxes one item's result for group g.
+func (it *aggItemExec) finalize(a *aggAcc, g int) value.Value {
+	n := a.count[g]
+	switch it.fn {
+	case AggCount:
+		return value.NewInt(n)
+	case AggSum:
+		if n == 0 {
+			return value.NullValue()
+		}
+		if it.kind == value.Float {
+			return value.NewFloat(a.sumF[g])
+		}
+		return value.NewInt(a.sumI[g])
+	case AggMin:
+		if n == 0 {
+			return value.NullValue()
+		}
+		if it.kind == value.Float {
+			return value.NewFloat(a.minF[g])
+		}
+		return value.NewInt(a.minI[g])
+	case AggMax:
+		if n == 0 {
+			return value.NullValue()
+		}
+		if it.kind == value.Float {
+			return value.NewFloat(a.maxF[g])
+		}
+		return value.NewInt(a.maxI[g])
+	case AggAvg:
+		if n == 0 {
+			return value.NullValue()
+		}
+		if it.kind == value.Float {
+			return value.NewFloat(a.sumF[g] / float64(n))
+		}
+		return value.NewFloat(float64(a.sumI[g]) / float64(n))
+	}
+	return value.NullValue()
+}
+
+// runAggregate drains the cursor's blocks through the aggregation executor
+// and replaces the cursor's stream with the (sorted) result rows. Serial
+// and parallel paths merge per-block partials in stored block order;
+// quarantined blocks contribute nothing and are reported as usual.
+func (c *Cursor) runAggregate() error {
+	ex := c.agg
+	final := ex.newState()
+	var as aggScratch
+	if c.par != nil {
+		for {
+			res, ok, err := c.par.next()
+			if err != nil {
+				c.exhausted = true
+				return err
+			}
+			if !ok {
+				break
+			}
+			if res.skipped || res.agg == nil {
+				continue
+			}
+			final.merge(ex, res.agg, &as)
+		}
+	} else {
+		for _, ref := range c.blocks {
+			ref := ref
+			st, err := ex.observeBlock(c.parts[ref.part], c.parts[ref.part].readers, ref.block, c.filter, &c.vs, &c.dec, &as)
+			if err != nil {
+				if c.quar == nil {
+					return err
+				}
+				skipped, qerr := c.quar.handle(c.parts[ref.part], ref, err, func() error {
+					st, err = ex.observeBlock(c.parts[ref.part], c.parts[ref.part].readers, ref.block, c.filter, &c.vs, &c.dec, &as)
+					return err
+				})
+				if qerr != nil {
+					return qerr
+				}
+				if skipped {
+					continue
+				}
+			}
+			final.merge(ex, st, &as)
+		}
+	}
+	c.schema = ex.out
+	c.sorted, c.sortedPos = ex.resultRows(final), 0
+	return nil
+}

@@ -1,0 +1,578 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/segment"
+	"rodentstore/internal/value"
+)
+
+// aggSchema covers every aggregate input kind plus group keys: small-domain
+// ints and strings, floats with NaN/Inf/-0, huge ints for overflow, nulls
+// in every nullable column.
+func aggSchema() *value.Schema {
+	return value.MustSchema(
+		value.Field{Name: "t", Type: value.Int},
+		value.Field{Name: "a", Type: value.Int},
+		value.Field{Name: "x", Type: value.Float},
+		value.Field{Name: "y", Type: value.Float},
+		value.Field{Name: "s", Type: value.Str},
+		value.Field{Name: "b", Type: value.Bool},
+		value.Field{Name: "big", Type: value.Int},
+	)
+}
+
+func aggRows(r *rand.Rand, n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		// Stored columns cannot hold nulls (compression isolates them);
+		// null aggregation inputs come from expressions (x/0) and empty
+		// groups instead.
+		a := value.NewInt(int64(r.Intn(5))) // includes 0: division-by-zero food
+		x := value.NewFloat(r.Float64()*200 - 100)
+		switch r.Intn(40) {
+		case 0:
+			x = value.NewFloat(math.NaN())
+		case 1:
+			x = value.NewFloat(math.Copysign(0, -1)) // -0.0
+		}
+		y := value.NewFloat(r.Float64() * 10)
+		big := value.NewInt(math.MaxInt64 - int64(r.Intn(3))) // sum overflows fast
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			a,
+			x,
+			y,
+			value.NewString(fmt.Sprintf("g%d", r.Intn(4))),
+			value.NewBool(r.Intn(2) == 0),
+			big,
+		}
+	}
+	return rows
+}
+
+// aggSpecs exercises every kernel (count/sum/min/max/avg × int/float ×
+// grouped/ungrouped), expressions (widening, constants, division by zero,
+// overflow) and group keys of every kind including floats with NaN and -0.
+func aggSpecs() []AggSpec {
+	mk := func(group []string, aggs ...string) AggSpec {
+		var spec AggSpec
+		spec.GroupBy = group
+		for _, s := range aggs {
+			item, err := ParseAggItem(s)
+			if err != nil {
+				panic(err)
+			}
+			spec.Items = append(spec.Items, item)
+		}
+		return spec
+	}
+	return []AggSpec{
+		mk(nil, "count"),
+		mk(nil, "count(a)", "sum(a)", "min(a)", "max(a)", "avg(a)"),
+		mk(nil, "count(x)", "sum(x)", "min(x)", "max(x)", "avg(x)"),
+		mk(nil, "sum(big)", "max(big)"), // int64 sum wraps
+		mk(nil, "sum(t*a + 2)", "min(x*2.5 - y)", "avg(t / a)", "max(-t)"),
+		mk([]string{"s"}, "count", "sum(a)", "avg(x)", "min(t)"),
+		mk([]string{"a"}, "count", "min(t)", "max(t)"), // null group key
+		mk([]string{"s", "b"}, "count", "sum(t)"),
+		mk([]string{"x"}, "count", "max(y)"), // float keys: NaN, -0, nulls
+	}
+}
+
+// aggOracle computes the spec row-at-a-time over the scanned rows in stored
+// order — independent accumulation the engine variants are pinned to (float
+// sums within tolerance; everything else exact).
+func aggOracle(t *testing.T, spec AggSpec, schema *value.Schema, rows []value.Row) []value.Row {
+	t.Helper()
+	type group struct {
+		key  value.Row
+		accs []aggAcc
+	}
+	var exec []aggItemExec
+	for _, it := range spec.Items {
+		ie := aggItemExec{fn: it.Func, expr: it.Expr, kind: value.Int}
+		if it.Expr != nil {
+			k, err := algebra.ExprType(it.Expr, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ie.kind = k
+		}
+		exec = append(exec, ie)
+	}
+	keyIdx := make([]int, len(spec.GroupBy))
+	for i, f := range spec.GroupBy {
+		keyIdx[i] = schema.Index(f)
+	}
+	groups := make(map[string]*group)
+	var order []string
+	keyOf := func(row value.Row) (string, value.Row) {
+		var sb strings.Builder
+		key := make(value.Row, len(keyIdx))
+		for i, ki := range keyIdx {
+			v := row[ki]
+			key[i] = v
+			// Canonicalize float keys so -0 == +0 and NaN == NaN, matching
+			// value.Equal.
+			if v.Kind() == value.Float {
+				f := v.Float()
+				switch {
+				case f == 0:
+					sb.WriteString("f:0")
+				case math.IsNaN(f):
+					sb.WriteString("f:NaN")
+				default:
+					fmt.Fprintf(&sb, "f:%x", math.Float64bits(f))
+				}
+			} else {
+				sb.WriteString(v.Kind().String())
+				sb.WriteByte(':')
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte('|')
+		}
+		return sb.String(), key
+	}
+	for _, row := range rows {
+		k, key := keyOf(row)
+		g := groups[k]
+		if g == nil {
+			g = &group{key: key, accs: make([]aggAcc, len(exec))}
+			for i := range g.accs {
+				g.accs[i].grow(&exec[i], 1)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for ii := range exec {
+			it := &exec[ii]
+			acc := &g.accs[ii]
+			if it.expr == nil {
+				acc.count[0]++
+				continue
+			}
+			v, err := algebra.EvalScalar(it.expr, schema, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.IsNull() {
+				continue
+			}
+			switch it.fn {
+			case AggCount:
+				acc.count[0]++
+			case AggSum, AggAvg:
+				if it.kind == value.Float {
+					acc.sumF[0] += v.Float()
+				} else {
+					acc.sumI[0] += v.Int()
+				}
+				acc.count[0]++
+			case AggMin, AggMax:
+				if it.kind == value.Float {
+					acc.foldMinMaxF(0, v.Float(), v.Float(), 1)
+				} else {
+					acc.foldMinMaxI(0, v.Int(), v.Int(), 1)
+				}
+			}
+		}
+	}
+	if len(keyIdx) == 0 && len(order) == 0 {
+		g := &group{accs: make([]aggAcc, len(exec))}
+		for i := range g.accs {
+			g.accs[i].grow(&exec[i], 1)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	var out []value.Row
+	for _, k := range order {
+		g := groups[k]
+		row := make(value.Row, len(keyIdx)+len(exec))
+		copy(row, g.key)
+		for ii := range exec {
+			row[len(keyIdx)+ii] = exec[ii].finalize(&g.accs[ii], 0)
+		}
+		out = append(out, row)
+	}
+	if len(keyIdx) > 0 {
+		keys := make([]int, len(keyIdx))
+		for i := range keys {
+			keys[i] = i
+		}
+		value.SortRows(out, keys, nil)
+	}
+	return out
+}
+
+// approxEqual compares oracle cells: exact under value.Equal, or within
+// relative tolerance for floats (float sums reduce in a different
+// association in the block-partial executors than in the row-order oracle).
+func approxEqual(a, b value.Value) bool {
+	if value.Equal(a, b) {
+		return true
+	}
+	if a.Kind() != value.Float || b.Kind() != value.Float {
+		return false
+	}
+	af, bf := a.Float(), b.Float()
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(af), math.Abs(bf)))
+	return math.Abs(af-bf) <= tol
+}
+
+// TestAggregateDifferential pins every aggregate kernel and typed
+// expression to the boxed row oracle across serial/parallel ×
+// vectorized/NoVectorize × zone-prune on/off. All engine variants must be
+// bit-identical to each other (the block-partial merge order guarantees
+// it, floats included) and match the independent row-order oracle.
+func TestAggregateDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	rows := aggRows(r, 3000)
+	preds := []algebra.Predicate{
+		algebra.True, // 100% selectivity
+		algebra.True.And("t", algebra.OpLt, value.NewInt(1500)),
+		algebra.True.And("t", algebra.OpLt, value.NewInt(-1)), // empty selection
+		algebra.True.And("x", algebra.OpGe, value.NewFloat(0)),
+	}
+	layouts := []string{
+		"chunk[64](rows(T))",
+		"chunk[64](dict[s](rle[a](delta[t](cols(T)))))",
+		"chunk[64](orderby[s](rows(T)))",
+		"chunk[64](zorder(grid[t,big; 8,8](rows(T))))", // grid dims must be non-null
+	}
+	for _, layoutExpr := range layouts {
+		t.Run(layoutExpr, func(t *testing.T) {
+			e, _, _ := newEngine(t)
+			if err := e.Create("T", aggSchema(), layoutExpr); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Load("T", rows[:2500]); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Insert("T", rows[2500:]); err != nil {
+				t.Fatal(err)
+			}
+			for pi, pred := range preds {
+				// The oracle input: matching rows in stored order.
+				plain, err := e.Scan("T", ScanOptions{Pred: pred})
+				if err != nil {
+					t.Fatal(err)
+				}
+				input := drain(t, plain)
+				plain.Close()
+				for si, spec := range aggSpecs() {
+					spec := spec
+					want := aggOracle(t, spec, aggSchema(), input)
+					var exact []value.Row // first variant's rows: all others must match bit-for-bit
+					for _, v := range []struct {
+						name string
+						opts ScanOptions
+					}{
+						{"vec-serial", ScanOptions{Pred: pred, Aggregate: &spec}},
+						{"boxed-serial", ScanOptions{Pred: pred, Aggregate: &spec, NoVectorize: true}},
+						{"vec-parallel", ScanOptions{Pred: pred, Aggregate: &spec, Parallel: true, Workers: 4}},
+						{"boxed-parallel", ScanOptions{Pred: pred, Aggregate: &spec, Parallel: true, Workers: 4, NoVectorize: true}},
+						{"vec-serial-nozone", ScanOptions{Pred: pred, Aggregate: &spec, NoZonePrune: true}},
+						{"boxed-parallel-nozone", ScanOptions{Pred: pred, Aggregate: &spec, NoZonePrune: true, Parallel: true, Workers: 3, NoVectorize: true}},
+					} {
+						cur, err := e.Scan("T", v.opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := drain(t, cur)
+						cur.Close()
+						if len(got) != len(want) {
+							t.Fatalf("pred %d spec %d %s: %d groups, oracle %d", pi, si, v.name, len(got), len(want))
+						}
+						for i := range want {
+							for c := range want[i] {
+								if !approxEqual(got[i][c], want[i][c]) {
+									t.Fatalf("pred %d spec %d %s group %d col %d: %v, oracle %v",
+										pi, si, v.name, i, c, got[i][c], want[i][c])
+								}
+							}
+						}
+						if exact == nil {
+							exact = got
+							continue
+						}
+						for i := range exact {
+							for c := range exact[i] {
+								if !value.Equal(got[i][c], exact[i][c]) {
+									t.Fatalf("pred %d spec %d %s group %d col %d: %v, first variant %v (executor variants must be bit-identical)",
+										pi, si, v.name, i, c, got[i][c], exact[i][c])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAggregateEmptyTable: ungrouped aggregation over zero rows yields one
+// row (count 0, null aggregates); grouped yields zero rows.
+func TestAggregateEmptyTable(t *testing.T) {
+	e, _, _ := newEngine(t)
+	if err := e.Create("T", aggSchema(), "chunk[64](rows(T))"); err != nil {
+		t.Fatal(err)
+	}
+	spec := AggSpec{Items: []AggItem{
+		{Func: AggCount},
+		{Func: AggSum, Expr: mustExpr(t, "a")},
+		{Func: AggMin, Expr: mustExpr(t, "x")},
+	}}
+	cur, err := e.Scan("T", ScanOptions{Aggregate: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	cur.Close()
+	if len(got) != 1 {
+		t.Fatalf("ungrouped empty aggregate: %d rows, want 1", len(got))
+	}
+	if got[0][0].Int() != 0 || !got[0][1].IsNull() || !got[0][2].IsNull() {
+		t.Fatalf("ungrouped empty aggregate row: %v", got[0])
+	}
+
+	gspec := AggSpec{GroupBy: []string{"s"}, Items: []AggItem{{Func: AggCount}}}
+	cur, err = e.Scan("T", ScanOptions{Aggregate: &gspec, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = drain(t, cur)
+	cur.Close()
+	if len(got) != 0 {
+		t.Fatalf("grouped empty aggregate: %d rows, want 0", len(got))
+	}
+}
+
+func mustExpr(t *testing.T, s string) algebra.ScalarExpr {
+	t.Helper()
+	e, err := algebra.ParseScalarExpr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAggregateValidation: Aggregate is mutually exclusive with Fields and
+// Order, rejects unknown columns and non-numeric expression inputs.
+func TestAggregateValidation(t *testing.T) {
+	e, _, _ := newEngine(t)
+	if err := e.Create("T", aggSchema(), "chunk[64](rows(T))"); err != nil {
+		t.Fatal(err)
+	}
+	spec := AggSpec{Items: []AggItem{{Func: AggCount}}}
+	cases := []ScanOptions{
+		{Aggregate: &spec, Fields: []string{"t"}},
+		{Aggregate: &spec, Order: []algebra.OrderKey{{Field: "t"}}},
+		{Aggregate: &AggSpec{}},
+		{Aggregate: &AggSpec{GroupBy: []string{"nope"}, Items: spec.Items}},
+		{Aggregate: &AggSpec{Items: []AggItem{{Func: AggSum, Expr: mustExpr(t, "s + 1")}}}},
+		{Aggregate: &AggSpec{Items: []AggItem{{Func: AggSum, Expr: mustExpr(t, "nope")}}}},
+		{Aggregate: &AggSpec{Items: []AggItem{{Func: AggSum}}}},
+		{Aggregate: &AggSpec{Items: []AggItem{{Func: AggSum, Expr: mustExpr(t, "a")}, {Func: AggSum, Expr: mustExpr(t, "a")}}}},
+	}
+	for i, opts := range cases {
+		if _, err := e.Scan("T", opts); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestAggregateCountReadsNoPages: a bare count(*) with no predicate answers
+// from block metadata without reading a single data page.
+func TestAggregateCountReadsNoPages(t *testing.T) {
+	e, f, _ := newEngine(t)
+	if err := e.Create("T", aggSchema(), "chunk[64](rows(T))"); err != nil {
+		t.Fatal(err)
+	}
+	rows := aggRows(rand.New(rand.NewSource(3)), 2000)
+	if err := e.Load("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	spec := AggSpec{Items: []AggItem{{Func: AggCount}}}
+	cur, err := e.Scan("T", ScanOptions{Aggregate: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	cur.Close()
+	if len(got) != 1 || got[0][0].Int() != int64(len(rows)) {
+		t.Fatalf("count(*) = %v, want %d", got, len(rows))
+	}
+	if reads := f.Stats().PageReads; reads != 0 {
+		t.Fatalf("bare count(*) read %d pages, want 0", reads)
+	}
+}
+
+// fakePart builds a part with just enough metadata for blockRowCount.
+func fakePart(blockRows ...int) *part {
+	var meta segment.Meta
+	for _, n := range blockRows {
+		meta.Blocks = append(meta.Blocks, segment.BlockMeta{Rows: n})
+	}
+	return &part{entries: []catalog.SegmentEntry{{Meta: meta}}}
+}
+
+// TestBuildMorsels checks the morsel queue construction: stored order
+// preserved, part boundaries respected, sizes near the row target.
+func TestBuildMorsels(t *testing.T) {
+	// One part, 100 blocks of 64 rows.
+	rowsPerBlock := make([]int, 100)
+	for i := range rowsPerBlock {
+		rowsPerBlock[i] = 64
+	}
+	p := fakePart(rowsPerBlock...)
+	var blocks []blockRef
+	for i := 0; i < 100; i++ {
+		blocks = append(blocks, blockRef{part: 0, block: i})
+	}
+	morsels := buildMorsels(blocks, []*part{p}, 4)
+	if len(morsels) < 2 {
+		t.Fatalf("expected multiple morsels, got %d", len(morsels))
+	}
+	var flat []blockRef
+	for _, m := range morsels {
+		if len(m) == 0 {
+			t.Fatal("empty morsel")
+		}
+		flat = append(flat, m...)
+	}
+	if len(flat) != len(blocks) {
+		t.Fatalf("morsels cover %d blocks, want %d", len(flat), len(blocks))
+	}
+	for i := range flat {
+		if flat[i] != blocks[i] {
+			t.Fatalf("morsel order diverges at %d: %v != %v", i, flat[i], blocks[i])
+		}
+	}
+	// Two parts: a morsel never spans parts.
+	blocks2 := append(append([]blockRef{}, blocks[:10]...), blockRef{part: 1, block: 0})
+	morsels2 := buildMorsels(blocks2, []*part{p, fakePart(64)}, 2)
+	for _, m := range morsels2 {
+		for _, ref := range m[1:] {
+			if ref.part != m[0].part {
+				t.Fatalf("morsel spans parts: %v", m)
+			}
+		}
+	}
+}
+
+// TestMorselSchedulerStress hammers the morsel queue under the race
+// detector: concurrent parallel scans and aggregations with worker counts
+// from 1 to far beyond the morsel count, plus early closes mid-stream.
+func TestMorselSchedulerStress(t *testing.T) {
+	e, _, _ := newEngine(t)
+	if err := e.Create("T", aggSchema(), "chunk[64](rows(T))"); err != nil {
+		t.Fatal(err)
+	}
+	rows := aggRows(rand.New(rand.NewSource(11)), 4000)
+	if err := e.Load("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	pred := algebra.True.And("t", algebra.OpLt, value.NewInt(3000))
+	oracle, err := e.Scan("T", ScanOptions{Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, oracle)
+	oracle.Close()
+	spec := AggSpec{GroupBy: []string{"s"}, Items: []AggItem{
+		{Func: AggCount}, {Func: AggSum, Expr: mustExpr(t, "t")},
+	}}
+	aggCur, err := e.Scan("T", ScanOptions{Pred: pred, Aggregate: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg := drain(t, aggCur)
+	aggCur.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	workerCounts := []int{1, 2, 3, 7, 64} // 64 >> morsel count: cap must bite
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for it := 0; it < 6; it++ {
+				workers := workerCounts[r.Intn(len(workerCounts))]
+				if g%4 == 0 {
+					// Aggregation through the morsel pipeline.
+					cur, err := e.Scan("T", ScanOptions{Pred: pred, Aggregate: &spec, Parallel: true, Workers: workers})
+					if err != nil {
+						errs <- err
+						return
+					}
+					got := make([]value.Row, 0, len(wantAgg))
+					for {
+						row, ok, err := cur.Next()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !ok {
+							break
+						}
+						got = append(got, row)
+					}
+					cur.Close()
+					if !rowsEqual(got, wantAgg) {
+						errs <- fmt.Errorf("goroutine %d: aggregate diverged", g)
+						return
+					}
+					continue
+				}
+				cur, err := e.Scan("T", ScanOptions{Pred: pred, Parallel: true, Workers: workers})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if it%3 == 2 {
+					// Early close mid-stream: workers must stop and join.
+					for i := 0; i < 100; i++ {
+						if _, ok, err := cur.Next(); err != nil || !ok {
+							break
+						}
+					}
+					cur.Close()
+					continue
+				}
+				got := make([]value.Row, 0, len(want))
+				for {
+					row, ok, err := cur.Next()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !ok {
+						break
+					}
+					got = append(got, row)
+				}
+				cur.Close()
+				if !rowsEqual(got, want) {
+					errs <- fmt.Errorf("goroutine %d: scan diverged (%d vs %d rows)", g, len(got), len(want))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

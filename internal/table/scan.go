@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rodentstore/internal/algebra"
 	"rodentstore/internal/catalog"
@@ -51,6 +52,13 @@ type ScanOptions struct {
 	// listed in Cursor.Report. Off by default — an unreadable block fails
 	// the scan with a typed corruption error.
 	Quarantine bool
+	// Aggregate turns the scan into an aggregation (see AggSpec): the
+	// cursor yields one row per group instead of the matching rows, and no
+	// input row is ever materialized — blocks fold straight into typed
+	// accumulators. Mutually exclusive with Fields and Order (groups are
+	// always sorted by key). Results are bit-identical across
+	// serial/parallel and vectorized/NoVectorize executors.
+	Aggregate *AggSpec
 }
 
 // reorganizeIfNeeded applies a pending lazy reorganization under the
@@ -86,7 +94,52 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 			needsReorg = true // reorganize needs the exclusive lock; retry below
 			return nil
 		}
-		cur, err = e.scanStoredOpts(tab, opts.Fields, opts.Pred, storedScanOpts{noZone: opts.NoZonePrune, noVec: opts.NoVectorize, quarantine: opts.Quarantine})
+		so := storedScanOpts{noZone: opts.NoZonePrune, noVec: opts.NoVectorize, quarantine: opts.Quarantine}
+		if opts.Aggregate != nil {
+			if len(opts.Fields) > 0 {
+				return fmt.Errorf("table: Aggregate and Fields are mutually exclusive (group keys and aggregates define the output)")
+			}
+			if len(opts.Order) > 0 {
+				return fmt.Errorf("table: Aggregate and Order are mutually exclusive (groups are sorted by key)")
+			}
+			fields := opts.Aggregate.ScanFields()
+			if len(fields) == 0 {
+				// A bare count(*) reads no input columns, but the scan still
+				// needs a non-nil projection (nil means "all stored fields")
+				// and a part with a readable segment for block metadata.
+				// Anchor on a predicate field if there is one — it is decoded
+				// anyway — else the first stored column, whose pages are only
+				// read if something actually decodes them.
+				if pf := opts.Pred.Fields(); len(pf) > 0 {
+					fields = pf[:1]
+				} else {
+					stored, err := storedSchema(tab)
+					if err != nil {
+						return err
+					}
+					if stored.Arity() > 0 {
+						fields = stored.Names()[:1]
+					}
+				}
+			}
+			cur, err = e.scanStoredOpts(tab, fields, opts.Pred, so)
+			if err != nil {
+				return err
+			}
+			cur.agg, err = buildAggExec(opts.Aggregate, cur.decoded, opts.Pred, opts.NoVectorize)
+			if err != nil {
+				return err
+			}
+			if opts.Parallel {
+				cur.startParallel(opts.Workers)
+			}
+			if err := cur.runAggregate(); err != nil {
+				cur.Close()
+				return err
+			}
+			return nil
+		}
+		cur, err = e.scanStoredOpts(tab, opts.Fields, opts.Pred, so)
 		if err != nil {
 			return err
 		}
@@ -295,9 +348,13 @@ type Cursor struct {
 	// par, when non-nil, replaces the serial block loop with the ordered
 	// parallel pipeline.
 	par *parallelScan
-	// sorted, when non-nil, replaces streaming (materialized order-by).
+	// sorted, when non-nil, replaces streaming (materialized order-by, and
+	// the result rows of an aggregation).
 	sorted    []value.Row
 	sortedPos int
+	// agg, when non-nil, turns the scan into an aggregation: blocks fold
+	// into typed accumulators (runAggregate) instead of materializing.
+	agg *aggExec
 	// quar, when non-nil, enables corruption quarantine: unreadable blocks
 	// are recorded here and skipped instead of failing the scan.
 	quar *quarState
@@ -705,10 +762,11 @@ func decodeBlockVec(p *part, readers []*segment.Reader, block int, decoded, outS
 
 // blockResult is one decoded block (or its error) flowing through the
 // parallel pipeline: a batch on the vectorized path, boxed rows on the
-// boxed path.
+// boxed path, a partial aggregate state on the aggregation path.
 type blockResult struct {
 	rows  []value.Row
 	batch *vec.Batch
+	agg   *aggState
 	err   error
 	// skipped marks a quarantined block: the worker recorded it in the
 	// cursor's quarantine state and delivers an empty result so the ordered
@@ -716,19 +774,33 @@ type blockResult struct {
 	skipped bool
 }
 
-// parallelScan runs the cursor's block list through a bounded worker pool,
-// delivering results in stored block order: the dispatcher emits one
-// promise channel per block into out (in order), workers fulfill promises
-// as they finish, and the consumer awaits promises in order. The out
-// buffer bounds how far workers run ahead of the consumer.
+// parallelScan runs the cursor's block list through a morsel-driven worker
+// pool: non-pruned blocks are coalesced into morsels (contiguous
+// row-count-targeted block ranges of one part) on a shared queue that
+// workers claim dynamically — a worker that drew cheap (pruned-thin,
+// well-compressed, cached) morsels simply claims more, so skewed layouts
+// no longer leave workers idle the way a fixed per-block hand-off could
+// when block costs diverge. Stored order is still preserved: each morsel
+// fulfills a buffered promise (results[i]), and the consumer awaits
+// promises in order. The ticket semaphore bounds how many morsels may be
+// in flight or undelivered ahead of the consumer, so workers cannot run
+// away decoding the whole table into memory.
 type parallelScan struct {
-	out  chan chan blockResult
-	done chan struct{}
-	stop sync.Once
-	wg   sync.WaitGroup // dispatcher + workers
+	morsels [][]blockRef
+	results []chan []blockResult // per-morsel promise, buffered(1)
+	claim   atomic.Int64         // next unclaimed morsel index
+	tickets chan struct{}        // run-ahead bound: send=acquire, receive=release
+	done    chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+	// Consumer state: the current morsel's results and position.
+	cur    int
+	buf    []blockResult
+	have   bool
+	bufPos int
 }
 
-// cancel stops the dispatcher (and thereby the workers) without draining.
+// cancel stops the workers without draining.
 func (ps *parallelScan) cancel() {
 	ps.stop.Do(func() { close(ps.done) })
 }
@@ -740,25 +812,74 @@ func (ps *parallelScan) shutdown() {
 	ps.wg.Wait()
 }
 
-// next returns the next block's result in stored order.
+// next returns the next block's result in stored order, awaiting morsel
+// promises in queue order and stepping through each morsel's blocks.
 func (ps *parallelScan) next() (blockResult, bool, error) {
-	ch, ok := <-ps.out
-	if !ok {
-		ps.cancel()
-		return blockResult{}, false, nil
+	for {
+		if ps.have {
+			if ps.bufPos < len(ps.buf) {
+				res := ps.buf[ps.bufPos]
+				ps.bufPos++
+				if res.err != nil {
+					ps.cancel()
+					return blockResult{}, false, res.err
+				}
+				return res, true, nil
+			}
+			ps.have = false
+			ps.buf = nil
+			<-ps.tickets // morsel consumed: release its run-ahead slot
+			ps.cur++
+		}
+		if ps.cur >= len(ps.morsels) {
+			ps.cancel()
+			return blockResult{}, false, nil
+		}
+		ps.buf, ps.bufPos, ps.have = <-ps.results[ps.cur], 0, true
 	}
-	res := <-ch
-	if res.err != nil {
-		ps.cancel()
-		return blockResult{}, false, res.err
+}
+
+// buildMorsels coalesces the ordered block list into morsels: runs of
+// same-part blocks up to a row-count target sized so each worker sees
+// several morsels (dynamic claiming needs slack to absorb skew) without
+// making them so small that claim/promise overhead shows.
+func buildMorsels(blocks []blockRef, parts []*part, workers int) [][]blockRef {
+	const minMorselRows, maxMorselRows = 1 << 10, 1 << 16
+	var total int64
+	for _, ref := range blocks {
+		total += int64(blockRowCount(parts[ref.part], ref.block))
 	}
-	return res, true, nil
+	target := total / int64(4*workers)
+	if target < minMorselRows {
+		target = minMorselRows
+	}
+	if target > maxMorselRows {
+		target = maxMorselRows
+	}
+	var morsels [][]blockRef
+	var cur []blockRef
+	var rows int64
+	for _, ref := range blocks {
+		if len(cur) > 0 && (cur[len(cur)-1].part != ref.part || rows >= target) {
+			morsels = append(morsels, cur)
+			cur, rows = nil, 0
+		}
+		cur = append(cur, ref)
+		rows += int64(blockRowCount(parts[ref.part], ref.block))
+	}
+	if len(cur) > 0 {
+		morsels = append(morsels, cur)
+	}
+	return morsels
 }
 
 // startParallel switches the cursor to the parallel executor: workers
-// fetch, decode and filter independent blocks (grid cells / segment
-// extents) concurrently while an ordered merge preserves stored order.
-// Each worker clones the part readers, so no reader state is shared.
+// claim morsels (block ranges) off a shared queue, fetch/decode/filter (or
+// aggregate) them concurrently, and an ordered merge preserves stored
+// order. Each worker clones the part readers, so no reader state is
+// shared. Workers are capped at the morsel count — a small table or a
+// heavily zone-pruned scan spawns only as many goroutines as there is work
+// to claim, instead of idle workers contending on the merge.
 func (c *Cursor) startParallel(workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -766,92 +887,101 @@ func (c *Cursor) startParallel(workers int) {
 	if len(c.blocks) == 0 || c.par != nil {
 		return
 	}
-	if workers > len(c.blocks) {
-		workers = len(c.blocks)
+	morsels := buildMorsels(c.blocks, c.parts, workers)
+	if workers > len(morsels) {
+		workers = len(morsels)
 	}
 	ps := &parallelScan{
-		out:  make(chan chan blockResult, 2*workers),
-		done: make(chan struct{}),
+		morsels: morsels,
+		results: make([]chan []blockResult, len(morsels)),
+		tickets: make(chan struct{}, workers+2),
+		done:    make(chan struct{}),
 	}
-	type job struct {
-		ref blockRef
-		ch  chan blockResult
+	for i := range ps.results {
+		ps.results[i] = make(chan []blockResult, 1)
 	}
-	jobs := make(chan job)
-	ps.wg.Add(1 + workers)
+	ps.wg.Add(workers)
 	// The goroutines capture copied fields, never the cursor itself: a
 	// cursor abandoned without Close must become unreachable so the cleanup
-	// below can cancel the pipeline (the dispatcher otherwise blocks
-	// forever once the out buffer fills). Close still joins
-	// deterministically.
-	blocks, parts := c.blocks, c.parts
+	// below can cancel the pipeline (workers otherwise block forever on the
+	// ticket semaphore once the consumer stops releasing). Close still
+	// joins deterministically.
+	parts := c.parts
 	decoded, pred, outIdx := c.decoded, c.pred, c.outIdx
 	outSchema, filter, identity := c.schema, c.filter, c.identity
-	quar := c.quar
-	go func() {
-		defer ps.wg.Done()
-		defer close(ps.out)
-		defer close(jobs)
-		for _, ref := range blocks {
-			ch := make(chan blockResult, 1)
-			select {
-			case ps.out <- ch:
-			case <-ps.done:
-				return
-			}
-			select {
-			case jobs <- job{ref, ch}:
-			case <-ps.done:
-				return
-			}
-		}
-	}()
+	quar, agg := c.quar, c.agg
 	runtime.AddCleanup(c, func(ps *parallelScan) { ps.cancel() }, ps)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer ps.wg.Done()
-			// Per-worker scratch: cloned readers, a boxed-decode scratch and
-			// a selection buffer are reused across this worker's blocks;
+			// Per-worker scratch: cloned readers, decode scratch and the
+			// aggregation scratch are reused across this worker's morsels;
 			// batches come from the shared pool (the consumer recycles them).
 			cloned := make([][]*segment.Reader, len(parts))
 			var dec rowDecoder
 			var vs vecScratch
-			for j := range jobs {
-				p := parts[j.ref.part]
-				if cloned[j.ref.part] == nil {
-					rs := make([]*segment.Reader, len(p.readers))
-					for si, r := range p.readers {
-						if r != nil {
-							rs[si] = r.Clone()
+			var as aggScratch
+			for {
+				// Acquire a run-ahead ticket, then claim the next morsel.
+				select {
+				case ps.tickets <- struct{}{}:
+				case <-ps.done:
+					return
+				}
+				mi := int(ps.claim.Add(1)) - 1
+				if mi >= len(ps.morsels) {
+					return // queue drained; ticket is moot, nothing waits on it
+				}
+				res := make([]blockResult, 0, len(ps.morsels[mi]))
+				for _, ref := range ps.morsels[mi] {
+					select {
+					case <-ps.done:
+						return
+					default:
+					}
+					p := parts[ref.part]
+					if cloned[ref.part] == nil {
+						rs := make([]*segment.Reader, len(p.readers))
+						for si, r := range p.readers {
+							if r != nil {
+								rs[si] = r.Clone()
+							}
+						}
+						cloned[ref.part] = rs
+					}
+					load := func() blockResult {
+						var r blockResult
+						switch {
+						case agg != nil:
+							r.agg, r.err = agg.observeBlock(p, cloned[ref.part], ref.block, filter, &vs, &dec, &as)
+						case filter != nil:
+							r.batch, r.err = decodeBlockVec(p, cloned[ref.part], ref.block, decoded, outSchema, filter, outIdx, identity, &vs)
+						default:
+							r.rows, r.err = dec.decodeBlockRows(p, cloned[ref.part], ref.block, decoded, pred, outIdx, identity)
+						}
+						return r
+					}
+					r := load()
+					if r.err != nil && quar != nil {
+						// Quarantine in the worker: retry transient errors,
+						// then record the skip and deliver an empty result so
+						// next() does not cancel the pipeline.
+						skipped, qerr := quar.handle(p, ref, r.err, func() error {
+							r = load()
+							return r.err
+						})
+						if skipped {
+							r = blockResult{skipped: true}
+						} else if qerr != nil {
+							r = blockResult{err: qerr}
 						}
 					}
-					cloned[j.ref.part] = rs
-				}
-				load := func() blockResult {
-					var res blockResult
-					if filter != nil {
-						res.batch, res.err = decodeBlockVec(p, cloned[j.ref.part], j.ref.block, decoded, outSchema, filter, outIdx, identity, &vs)
-					} else {
-						res.rows, res.err = dec.decodeBlockRows(p, cloned[j.ref.part], j.ref.block, decoded, pred, outIdx, identity)
-					}
-					return res
-				}
-				res := load()
-				if res.err != nil && quar != nil {
-					// Quarantine in the worker: retry transient errors, then
-					// record the skip and deliver an empty result so next()
-					// does not cancel the pipeline.
-					skipped, qerr := quar.handle(p, j.ref, res.err, func() error {
-						res = load()
-						return res.err
-					})
-					if skipped {
-						res = blockResult{skipped: true}
-					} else if qerr != nil {
-						res = blockResult{err: qerr}
+					res = append(res, r)
+					if r.err != nil {
+						break // the consumer cancels on this; skip the rest
 					}
 				}
-				j.ch <- res
+				ps.results[mi] <- res // buffered(1): never blocks
 			}
 		}()
 	}

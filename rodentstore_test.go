@@ -7,6 +7,7 @@ import (
 
 	"rodentstore"
 	"rodentstore/internal/cartel"
+	"rodentstore/internal/value"
 )
 
 func newDB(t *testing.T, opts *rodentstore.Options) *rodentstore.DB {
@@ -115,6 +116,104 @@ func TestOrderByQuery(t *testing.T) {
 		if got[i][1].Float() > got[i-1][1].Float() {
 			t.Fatal("not descending")
 		}
+	}
+}
+
+func TestAggregateQuery(t *testing.T) {
+	db := newDB(t, nil)
+	rows := loadTraces(t, db, "chunk[64](rows(Traces))", 2000)
+
+	// Global count with a predicate.
+	where := "lat >= 42.35"
+	cur, err := db.Scan("Traces", rodentstore.Query{
+		Where:     where,
+		Aggregate: &rodentstore.AggregateSpec{Aggs: []string{"count"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range rows {
+		if r[1].Float() >= 42.35 {
+			want++
+		}
+	}
+	if len(got) != 1 || got[0][0].Int() != int64(want) {
+		t.Fatalf("count: got %v, want [[%d]]", got, want)
+	}
+
+	// Grouped sum over an expression, serial vs parallel bit-identical.
+	spec := &rodentstore.AggregateSpec{
+		GroupBy: []string{"id"},
+		Aggs:    []string{"count", "sum(lat + lon) as span"},
+	}
+	serial, err := db.Scan("Traces", rodentstore.Query{Aggregate: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRows, err := serial.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[string]struct {
+		n   int64
+		sum float64
+	}{}
+	for _, r := range rows {
+		acc := oracle[r[3].Str()]
+		acc.n++
+		acc.sum += r[1].Float() + r[2].Float()
+		oracle[r[3].Str()] = acc
+	}
+	if len(sRows) != len(oracle) {
+		t.Fatalf("groups: got %d, want %d", len(sRows), len(oracle))
+	}
+	for _, r := range sRows {
+		acc, ok := oracle[r[0].Str()]
+		if !ok {
+			t.Fatalf("unexpected group %v", r[0])
+		}
+		if r[1].Int() != acc.n {
+			t.Errorf("group %v count: got %d, want %d", r[0], r[1].Int(), acc.n)
+		}
+		if diff := r[2].Float() - acc.sum; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("group %v sum: got %v, want %v", r[0], r[2].Float(), acc.sum)
+		}
+	}
+	parallel, err := db.Scan("Traces", rodentstore.Query{Aggregate: spec, Parallel: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRows, err := parallel.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pRows) != len(sRows) {
+		t.Fatalf("parallel groups: got %d, want %d", len(pRows), len(sRows))
+	}
+	for i := range sRows {
+		for j := range sRows[i] {
+			if !value.Equal(sRows[i][j], pRows[i][j]) {
+				t.Fatalf("row %d col %d: serial %v, parallel %v", i, j, sRows[i][j], pRows[i][j])
+			}
+		}
+	}
+
+	// Aggregate is mutually exclusive with Fields and OrderBy.
+	if _, err := db.Scan("Traces", rodentstore.Query{
+		Fields:    []string{"lat"},
+		Aggregate: &rodentstore.AggregateSpec{Aggs: []string{"count"}},
+	}); err == nil {
+		t.Error("aggregate with fields should fail")
+	}
+	if _, err := db.Scan("Traces", rodentstore.Query{
+		Aggregate: &rodentstore.AggregateSpec{Aggs: []string{"sum(nope)"}},
+	}); err == nil {
+		t.Error("unknown column should fail")
 	}
 }
 
