@@ -206,6 +206,7 @@ func (l Lease) Release() error {
 // slice is the cached frame: callers that modify it must call MarkDirty
 // before Unpin.
 func (p *Pool) Get(id pager.PageID) ([]byte, error) {
+	//lint:allow leaselease pin is transferred to the caller, who must Unpin
 	l, err := p.Lease(id)
 	if err != nil {
 		return nil, err

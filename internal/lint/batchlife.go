@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	vecPoolGetFunc = "(*rodentstore/internal/vec.Pool).Get"
+	vecPoolPutFunc = "(*rodentstore/internal/vec.Pool).Put"
+)
+
+// BatchLife builds the batchlife analyzer for pooled vec.Batch lifetimes:
+//
+//  1. A batch obtained from a vec.Pool must flow to exactly one owner —
+//     recycled via Put, returned to a consumer, stored into a result, or
+//     handed to a call — on every path out of the function (the obligation
+//     engine, as for leases).
+//  2. A batch must not be referenced after it has been recycled: any use of
+//     the variable after pool.Put(b) — including a second Put — is a
+//     use-after-recycle, until the variable is reassigned. (sync.Pool makes
+//     the race silent: the batch may already back another goroutine's scan.)
+func BatchLife() *Analyzer {
+	a := &Analyzer{
+		Name: "batchlife",
+		Doc:  "pooled vec.Batch values flow to exactly one of recycle or consumer, and are never used after recycle",
+	}
+	spec := &obligSpec{
+		matchAcquire:   matchBatchAcquire,
+		releaseMethods: map[string]bool{}, // discharge is by transfer (Put is a call arg)
+	}
+	a.Run = func(pass *Pass) error {
+		checkObligations(pass, spec)
+		checkUseAfterRecycle(pass)
+		return nil
+	}
+	return a
+}
+
+func matchBatchAcquire(p *Pass, call *ast.CallExpr) (obligIdx, errIdx int, what string, ok bool) {
+	fn := p.CalleeFunc(call)
+	if fn == nil {
+		return 0, 0, "", false
+	}
+	if fn.FullName() == vecPoolGetFunc {
+		return 0, -1, "pooled batch", true
+	}
+	// Functions that hand back a pooled batch propagate the obligation: a
+	// (*vec.Batch, error) result from a same-module helper is treated as
+	// pooled. This keeps decode helpers honest without whole-program
+	// analysis.
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok || fn.Pkg() == nil || fn.Pkg() != p.Pkg {
+		return 0, 0, "", false
+	}
+	res := sig.Results()
+	if res.Len() != 2 || !isErrorType(res.At(1).Type()) {
+		return 0, 0, "", false
+	}
+	if typeFullName(res.At(0).Type()) != "rodentstore/internal/vec.Batch" {
+		return 0, 0, "", false
+	}
+	if _, isPtr := res.At(0).Type().(*types.Pointer); !isPtr {
+		return 0, 0, "", false
+	}
+	return 0, 1, "pooled batch", true
+}
+
+// putSite is one pool.Put(b) call on a plain identifier.
+type putSite struct {
+	obj      types.Object
+	end      token.Pos // uses after this position are use-after-recycle
+	pos      token.Pos
+	blockEnd token.Pos // end of the innermost enclosing block: the poison window
+}
+
+// checkUseAfterRecycle flags identifier uses that textually follow a
+// pool.Put of the same variable within the same function scope. The check is
+// per function-literal scope (a Put inside a closure does not poison the
+// enclosing body — closures run on their own schedule) and skips deferred
+// Puts (they run last). Reassignment of the variable ends the poisoned
+// region. Selector-rooted batches (c.batch) are out of scope here; the
+// engine's ownership-transfer rule covers them.
+func checkUseAfterRecycle(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkScopeRecycle(p, body)
+			}
+			return true
+		})
+	}
+}
+
+func checkScopeRecycle(p *Pass, body *ast.BlockStmt) {
+	var puts []putSite
+	// Pass 1: collect non-deferred Put calls in this scope, each with its
+	// innermost enclosing block. The poison window is bounded by that block:
+	// `if err != nil { pool.Put(b); return err }` exits the path, so code
+	// after the branch is not a use-after-recycle. Loop-carried and
+	// cross-branch recycles are conceded to the dynamic checkers.
+	blocks := []token.Pos{body.End()}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			blocks = blocks[:len(blocks)-1]
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			if n.Pos() != body.Pos() {
+				return false
+			}
+		case *ast.DeferStmt:
+			// The deferred call runs at function exit; uses between the
+			// defer statement and the return are fine.
+			return false
+		case *ast.BlockStmt:
+			blocks = append(blocks, b.End())
+			return true
+		case *ast.CaseClause, *ast.CommClause:
+			blocks = append(blocks, b.End())
+			return true
+		case *ast.CallExpr:
+			fn := p.CalleeFunc(b)
+			if fn == nil || fn.FullName() != vecPoolPutFunc || len(b.Args) != 1 {
+				break
+			}
+			id, ok := ast.Unparen(b.Args[0]).(*ast.Ident)
+			if !ok {
+				break
+			}
+			if obj := p.ObjectOf(id); obj != nil {
+				puts = append(puts, putSite{obj: obj, end: b.End(), pos: b.Pos(), blockEnd: blocks[len(blocks)-1]})
+			}
+		}
+		blocks = append(blocks, blocks[len(blocks)-1]) // keep pop symmetric
+		return true
+	})
+	if len(puts) == 0 {
+		return
+	}
+	// Pass 2: for each Put, find the earliest reassignment after it, then
+	// flag uses in the (put, min(reassignment, block end)) window.
+	reportedAt := make(map[token.Pos]bool)
+	for _, put := range puts {
+		reassign := token.Pos(-1)
+		inScope(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Pos() <= put.end {
+				return
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && p.ObjectOf(id) == put.obj {
+					if reassign == token.Pos(-1) || as.Pos() < reassign {
+						reassign = as.Pos()
+					}
+				}
+			}
+		})
+		inScope(body, func(n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Pos() <= put.end || id.Pos() >= put.blockEnd || p.ObjectOf(id) != put.obj {
+				return
+			}
+			if reassign != token.Pos(-1) && id.Pos() >= reassign {
+				return
+			}
+			if reportedAt[id.Pos()] {
+				return
+			}
+			reportedAt[id.Pos()] = true
+			p.Reportf(id.Pos(), "batch %s used after being recycled to the pool at line %d",
+				id.Name, p.Fset.Position(put.pos).Line)
+		})
+	}
+}
+
+// inScope walks body without descending into nested function literals,
+// invoking f on every node. Deferred calls are not descended into either:
+// their execution point is function exit, not their textual position.
+func inScope(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			if n.Pos() != body.Pos() {
+				return false
+			}
+		case *ast.DeferStmt:
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrapped builds the errwrapped analyzer: the engine's typed errors
+// (pager.ErrCorruptPage, segment.ErrCorruptExtent, wal.ErrCorruptRecord,
+// wal.ErrSyncFailed, and sentinels generally) must be produced with %w and
+// tested with errors.Is / errors.As — never with ==, type assertions, or
+// string matching. Four checks:
+//
+//  1. A type assertion or type switch case naming a concrete error type:
+//     use errors.As, which unwraps. (Assertions to interfaces are fine.)
+//  2. == or != between an error value and a package-level error variable:
+//     use errors.Is. (Comparisons to nil are the idiom and are ignored.)
+//  3. fmt.Errorf whose constant format has no %w but whose arguments
+//     include an error: the cause is flattened to text and errors.Is/As
+//     stop working downstream.
+//  4. String matching on err.Error() — strings.Contains and friends, or
+//     ==/!= against a string literal: brittle and locale-hostile.
+func ErrWrapped() *Analyzer {
+	a := &Analyzer{
+		Name: "errwrapped",
+		Doc:  "typed errors are wrapped with %w and tested with errors.Is/As, never == or string matching",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeAssertExpr:
+					checkErrAssert(pass, n)
+				case *ast.TypeSwitchStmt:
+					checkErrTypeSwitch(pass, n)
+				case *ast.BinaryExpr:
+					checkErrCompare(pass, n)
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, n)
+					checkErrStringMatch(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// isConcrete reports whether t is a non-interface type (through pointers).
+func isConcrete(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, iface := t.Underlying().(*types.Interface)
+	return !iface
+}
+
+func checkErrAssert(p *Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // the x.(type) of a type switch; handled there
+	}
+	if !isErrorType(p.TypeOf(ta.X)) {
+		return
+	}
+	asserted := p.TypeOf(ta.Type)
+	if asserted == nil || !isConcrete(asserted) || !implementsError(asserted) {
+		return
+	}
+	p.Reportf(ta.Pos(), "type assertion on error to concrete type %s: use errors.As, which unwraps", types.TypeString(asserted, types.RelativeTo(p.Pkg)))
+}
+
+func checkErrTypeSwitch(p *Pass, ts *ast.TypeSwitchStmt) {
+	// The switch operand is inside an ExprStmt or AssignStmt wrapping the
+	// TypeAssertExpr.
+	var operand ast.Expr
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	}
+	if operand == nil || !isErrorType(p.TypeOf(operand)) {
+		return
+	}
+	for _, c := range ts.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, te := range cc.List {
+			t := p.TypeOf(te)
+			if t == nil || !isConcrete(t) || !implementsError(t) {
+				continue
+			}
+			p.Reportf(te.Pos(), "type switch on error over concrete type %s: use errors.As, which unwraps", types.TypeString(t, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// checkErrCompare flags err == pkgErrVar / err != pkgErrVar.
+func checkErrCompare(p *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	// String matching: err.Error() == "..." (check 4, reported here because
+	// it is a comparison shape; both sides are strings, so this must precede
+	// the error-typed gate).
+	if isErrorCallExpr(p, be.X) || isErrorCallExpr(p, be.Y) {
+		p.Reportf(be.Pos(), "comparing err.Error() text: match the typed error with errors.Is/As instead")
+		return
+	}
+	if !isErrorType(p.TypeOf(be.X)) && !isErrorType(p.TypeOf(be.Y)) {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		// A sentinel is a package-level error variable — bare (errDone) or
+		// package-qualified (io.EOF). == misses wrapped causes; locals and
+		// nil comparisons are the normal idiom and pass.
+		var id *ast.Ident
+		switch e := ast.Unparen(side).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			if _, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				id = e.Sel
+			}
+		}
+		if id == nil {
+			continue
+		}
+		v, ok := p.ObjectOf(id).(*types.Var)
+		if !ok || v.Parent() == nil || v.Pkg() == nil {
+			continue
+		}
+		if v.Parent() == v.Pkg().Scope() && isErrorType(v.Type()) {
+			p.Reportf(be.Pos(), "error compared to sentinel %s with %s: use errors.Is, which unwraps", id.Name, be.Op)
+			return
+		}
+	}
+}
+
+// isErrorCallExpr matches <error-typed expr>.Error().
+func isErrorCallExpr(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(p.TypeOf(sel.X))
+}
+
+// checkErrorfWrap flags fmt.Errorf("... no %w ...", errArg).
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := p.TypeOf(arg)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		// %v/%s on an error flattens the chain; errors.Is/As downstream
+		// stop seeing the typed cause.
+		p.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w: the typed cause is lost to errors.Is/As")
+		return
+	}
+}
+
+// stringMatchFuncs are strings-package predicates that should never see
+// error text.
+var stringMatchFuncs = map[string]bool{
+	"strings.Contains":  true,
+	"strings.HasPrefix": true,
+	"strings.HasSuffix": true,
+	"strings.EqualFold": true,
+	"strings.Index":     true,
+}
+
+func checkErrStringMatch(p *Pass, call *ast.CallExpr) {
+	fn := p.CalleeFunc(call)
+	if fn == nil || !stringMatchFuncs[fn.FullName()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorCallExpr(p, arg) {
+			p.Reportf(call.Pos(), "string-matching on err.Error() text: match the typed error with errors.Is/As instead")
+			return
+		}
+	}
+}

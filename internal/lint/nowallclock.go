@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DefaultDeterministicPackages lists the packages whose behavior must be a
+// pure function of their inputs (plus an explicitly injected seed or clock):
+// WAL replay and recovery, the torture harness's model and fault schedule,
+// the fault-injection VFS, and the codecs. A wall-clock read or an unseeded
+// global rand in any of these makes a crash-recovery failure unreproducible.
+var DefaultDeterministicPackages = []string{
+	"rodentstore/internal/wal",
+	"rodentstore/internal/torture",
+	"rodentstore/internal/vfs",
+	"rodentstore/internal/compress",
+	"rodentstore/internal/value",
+}
+
+// bannedClockFuncs are time-package reads of the wall or monotonic clock.
+// Constructors of explicit clocks/durations (time.Duration arithmetic,
+// time.Unix on stored stamps) stay allowed.
+var bannedClockFuncs = map[string]bool{
+	"time.Now":       true,
+	"time.Since":     true,
+	"time.Until":     true,
+	"time.After":     true,
+	"time.Tick":      true,
+	"time.NewTicker": true,
+	"time.NewTimer":  true,
+	"time.AfterFunc": true,
+	"time.Sleep":     true,
+}
+
+// randConstructors are the seeded entry points that remain allowed: build a
+// *rand.Rand from an explicit seed and use its methods freely.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// NewNoWallClock builds the nowallclock analyzer restricted to the given
+// package paths (fixture tests pass their own list). It flags calls to
+// wall-clock time functions and to package-level math/rand functions (which
+// draw from the process-global, time-seeded source). Methods on an
+// explicitly constructed *rand.Rand are allowed — determinism comes from
+// owning the seed.
+func NewNoWallClock(paths []string) *Analyzer {
+	a := &Analyzer{
+		Name: "nowallclock",
+		Doc:  "deterministic replay/recovery paths must not read the wall clock or global rand",
+	}
+	a.Run = func(pass *Pass) error {
+		if !deterministicPath(pass.Pkg.Path(), paths) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.CalleeFunc(call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				pkgPath, name := fn.Pkg().Path(), fn.Name()
+				full := pkgPath + "." + name
+				if bannedClockFuncs[full] {
+					pass.Reportf(call.Pos(), "%s in a deterministic replay/recovery path: inject a clock or timestamp through the caller", full)
+					return true
+				}
+				if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+					// Package-level funcs draw from the process-global,
+					// time-seeded source; methods on *rand.Rand (which have
+					// a receiver) are fine.
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[name] {
+						pass.Reportf(call.Pos(), "global %s.%s in a deterministic replay/recovery path: use a *rand.Rand built from an explicit seed", pkgPath, name)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// deterministicPath matches the package path against the configured list,
+// tolerating synthetic fixture paths by suffix.
+func deterministicPath(pkgPath string, paths []string) bool {
+	for _, p := range paths {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) || pathHasSuffix(p, pkgPath) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,443 @@
+package lint
+
+// The obligation engine: a flow-sensitive, function-local analysis shared by
+// the leaselease and batchlife analyzers. An "obligation" is a value
+// returned by an acquiring call (a buffer lease, a page-lease release func,
+// a pooled batch) that must be discharged on every path out of the function
+// — by releasing it, recycling it, returning it, or transferring ownership
+// (passing it to a call, storing it in a field/struct/channel, capturing it
+// in a closure).
+//
+// The walk is a three-state abstract interpretation over the function body:
+//
+//	notYet  — paths that have not executed the acquiring call
+//	obliged — acquired and not yet discharged
+//	done    — discharged, transferred, or exempt (the acquire failed)
+//
+// Statements propagate sets of these states; branches fork and re-merge by
+// union, loops are walked once with a zero-iteration alternative, and the
+// idiomatic error guard (`if err != nil { return ... }` on the acquiring
+// call's error result) exempts the failure branch. A return (or the end of
+// the function) reached with `obliged` in its state set is a leak on some
+// path and is reported at that return. The analysis is deliberately lenient
+// where it cannot be precise — a use inside a closure, a reassignment, or a
+// transfer into any call discharges the obligation — so that every report
+// is worth reading; the dynamic checkers (-race, the torture harness) stay
+// the backstop for what escapes it.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obligSpec configures one resource kind for the engine.
+type obligSpec struct {
+	// matchAcquire inspects a call; when it acquires a resource it returns
+	// the index of the result holding the obligation, the index of the
+	// error result (-1 if none), and a short description of the resource.
+	matchAcquire func(p *Pass, call *ast.CallExpr) (obligIdx, errIdx int, what string, ok bool)
+	// releaseMethods are methods on the obligation value whose call (or use
+	// as a method value) discharges it, e.g. Release. Calling the
+	// obligation itself, when it is a func value, always discharges.
+	releaseMethods map[string]bool
+}
+
+// state bitmasks for the walk.
+const (
+	stNotYet = 1 << iota
+	stObliged
+	stDone
+)
+
+// exits is the outcome of walking a statement list: the states that fall
+// off its end, reach a break, or reach a continue.
+type exits struct {
+	fall, brk, cont int
+}
+
+// oblig is one tracked acquisition site.
+type oblig struct {
+	assign *ast.AssignStmt
+	obj    types.Object // the obligation variable
+	errObj types.Object // the acquire's error result variable (nil if none)
+	what   string
+}
+
+// checkObligations runs the engine over every function (and function
+// literal) of the pass's package.
+func checkObligations(p *Pass, spec *obligSpec) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			for _, o := range findAcquires(p, spec, body) {
+				w := &obligWalker{p: p, spec: spec, o: o}
+				e := w.stmts(body.List, stNotYet)
+				w.atExit(e.fall|e.brk|e.cont, body.Rbrace)
+			}
+			return true // descend: nested FuncLits get their own walk
+		})
+	}
+}
+
+// findAcquires locates acquisition assignments directly inside body,
+// excluding nested function literals (they are walked separately).
+func findAcquires(p *Pass, spec *obligSpec, body *ast.BlockStmt) []oblig {
+	var out []oblig
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obligIdx, errIdx, what, ok := spec.matchAcquire(p, call)
+		if !ok || obligIdx >= len(as.Lhs) {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[obligIdx]).(*ast.Ident)
+		if !ok {
+			// Stored straight into a field/index: ownership transferred to
+			// the containing object at the acquisition itself.
+			return true
+		}
+		if id.Name == "_" {
+			p.Reportf(call.Pos(), "%s is discarded: the result must be released or transferred", what)
+			return true
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		var errObj types.Object
+		if errIdx >= 0 && errIdx < len(as.Lhs) {
+			if eid, ok := ast.Unparen(as.Lhs[errIdx]).(*ast.Ident); ok && eid.Name != "_" {
+				errObj = p.ObjectOf(eid)
+			}
+		}
+		out = append(out, oblig{assign: as, obj: obj, errObj: errObj, what: what})
+		return true
+	})
+	return out
+}
+
+// obligWalker tracks one obligation through one function body.
+type obligWalker struct {
+	p        *Pass
+	spec     *obligSpec
+	o        oblig
+	reported bool
+}
+
+// atExit reports a leak if any path reaches an exit still obliged.
+func (w *obligWalker) atExit(states int, pos token.Pos) {
+	if states&stObliged != 0 && !w.reported {
+		w.reported = true
+		w.p.Reportf(w.o.assign.Pos(), "%s may not be released on every path (function can exit at line %d while still holding it)",
+			w.o.what, w.p.Fset.Position(pos).Line)
+	}
+}
+
+// discharge maps obliged paths to done.
+func discharge(s int) int {
+	if s&stObliged != 0 {
+		return (s &^ stObliged) | stDone
+	}
+	return s
+}
+
+// step processes the non-branching effects of expressions within a
+// statement: transfer discharges the obligation.
+func (w *obligWalker) step(s int, nodes ...ast.Node) int {
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if w.transfers(n) {
+			s = discharge(s)
+		}
+	}
+	return s
+}
+
+// transfers reports whether n contains a value-position use of the
+// obligation: the bare identifier (passed, assigned, returned, sent,
+// composite-literal'd, captured by a closure, address-taken) or a release
+// method (called or taken as a method value). Reads *through* the value —
+// field selection, indexing, non-release method calls — do not transfer.
+func (w *obligWalker) transfers(n ast.Node) bool {
+	found := false
+	var visit func(ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if w.p.ObjectOf(e) == w.o.obj {
+				found = true
+			}
+			return false
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && w.p.ObjectOf(id) == w.o.obj {
+				// v.Release (method value or call base) discharges; v.field
+				// or v.Other() is a read, not a transfer.
+				if w.spec.releaseMethods[e.Sel.Name] {
+					found = true
+				}
+				return false
+			}
+			return true
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && w.p.ObjectOf(id) == w.o.obj {
+				ast.Inspect(e.Index, visit)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && w.p.ObjectOf(id) == w.o.obj {
+				found = true // calling the release func itself
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			// Captured by a closure: ownership is out of this function's
+			// hands (the closure may release it on any schedule).
+			ast.Inspect(e.Body, visit)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return found
+}
+
+// reassigned reports whether stmt reassigns the obligation variable (which
+// kills the old tracking; an undischarged overwrite inside a loop is caught
+// at the acquisition statement itself).
+func (w *obligWalker) reassigned(as *ast.AssignStmt) bool {
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && w.p.ObjectOf(id) == w.o.obj {
+			return true
+		}
+	}
+	return false
+}
+
+// errGuard classifies an if condition against the acquisition's error var:
+// +1 for `err != nil` (then-branch is the failure path), -1 for `err == nil`
+// (then-branch is the success path), 0 otherwise.
+func (w *obligWalker) errGuard(cond ast.Expr) int {
+	if w.o.errObj == nil {
+		return 0
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return 0
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && w.p.ObjectOf(id) == w.o.errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (matches(be.X) && isNil(be.Y)) || (matches(be.Y) && isNil(be.X)) {
+		if be.Op == token.NEQ {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// stmts walks a statement list with an incoming state set.
+func (w *obligWalker) stmts(list []ast.Stmt, in int) exits {
+	out := exits{}
+	s := in
+	for _, st := range list {
+		if s == 0 {
+			break // no path reaches here
+		}
+		s = w.stmt(st, s, &out)
+	}
+	out.fall |= s
+	return out
+}
+
+// stmt processes one statement, returning the fallthrough state set and
+// accumulating break/continue/return exits into out.
+func (w *obligWalker) stmt(st ast.Stmt, s int, out *exits) int {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		if st == w.o.assign {
+			// The acquisition: if a previous loop iteration's obligation is
+			// still live here, it is overwritten without release.
+			if s&stObliged != 0 && !w.reported {
+				w.reported = true
+				w.p.Reportf(st.Pos(), "%s may be reacquired while a previous acquisition is unreleased", w.o.what)
+			}
+			return stObliged
+		}
+		s = w.step(s, nodesOf(st.Rhs)...)
+		if w.reassigned(st) {
+			s = discharge(s)
+		}
+		return s
+	case *ast.ExprStmt:
+		return w.step(s, st.X)
+	case *ast.SendStmt:
+		return w.step(s, st.Chan, st.Value)
+	case *ast.IncDecStmt:
+		return w.step(s, st.X)
+	case *ast.DeclStmt:
+		return w.step(s, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// defer v.Release() / go consume(v): the discharge is scheduled;
+		// every later path is covered.
+		return w.step(s, st)
+	case *ast.ReturnStmt:
+		if w.transfers(st) {
+			return 0
+		}
+		w.atExit(s, st.Pos())
+		return 0
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = w.stmt(st.Init, s, out)
+		}
+		s = w.step(s, st.Cond)
+		thenIn, skipIn := s, s
+		switch w.errGuard(st.Cond) {
+		case 1: // if err != nil: the acquire failed on the then-branch
+			thenIn = discharge(s)
+		case -1: // if err == nil: the acquire failed past this statement
+			skipIn = discharge(s)
+		}
+		te := w.stmts(st.Body.List, thenIn)
+		out.brk |= te.brk
+		out.cont |= te.cont
+		if st.Else != nil {
+			ee := exits{}
+			fall := w.stmt(st.Else, skipIn, &ee)
+			out.brk |= ee.brk
+			out.cont |= ee.cont
+			return te.fall | fall | ee.fall
+		}
+		return te.fall | skipIn
+	case *ast.BlockStmt:
+		e := w.stmts(st.List, s)
+		out.brk |= e.brk
+		out.cont |= e.cont
+		return e.fall
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s = w.stmt(st.Init, s, out)
+		}
+		s = w.step(s, st.Cond)
+		e := w.stmts(st.Body.List, s)
+		if st.Post != nil {
+			inner := exits{}
+			e.fall = w.stmt(st.Post, e.fall, &inner)
+		}
+		after := e.fall | e.brk | e.cont
+		if st.Cond != nil {
+			after |= s // zero iterations
+		} else if e.brk == 0 && after == 0 {
+			return 0 // for{} with no break: no fallthrough
+		} else if st.Cond == nil {
+			after = e.brk // for{}: only break exits
+		}
+		return after
+	case *ast.RangeStmt:
+		s = w.step(s, st.X)
+		e := w.stmts(st.Body.List, s)
+		return s | e.fall | e.brk | e.cont // zero iterations possible
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = w.stmt(st.Init, s, out)
+		}
+		s = w.step(s, st.Tag)
+		return w.clauses(st.Body, s, out, true)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s = w.stmt(st.Init, s, out)
+		}
+		return w.clauses(st.Body, s, out, true)
+	case *ast.SelectStmt:
+		return w.clauses(st.Body, s, out, false)
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			out.brk |= s
+			return 0
+		case token.CONTINUE:
+			out.cont |= s
+			return 0
+		}
+		return s // goto/fallthrough: lenient
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, s, out)
+	default:
+		return s
+	}
+}
+
+// clauses walks switch/select case bodies; break inside a case falls out of
+// the statement. withImplicitSkip adds the no-case-matched path (a switch
+// without a default).
+func (w *obligWalker) clauses(body *ast.BlockStmt, s int, out *exits, withImplicitSkip bool) int {
+	fall := 0
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			s = w.step(s, nodesOf(cc.List)...)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				inner := exits{}
+				w.stmt(cc.Comm, s, &inner)
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		}
+		e := w.stmts(stmts, s)
+		fall |= e.fall | e.brk // break exits the switch/select
+		out.cont |= e.cont
+	}
+	if withImplicitSkip && !hasDefault {
+		fall |= s
+	}
+	return fall
+}
+
+// nodesOf adapts an expression slice to ast.Node variadics.
+func nodesOf[T ast.Node](list []T) []ast.Node {
+	out := make([]ast.Node, len(list))
+	for i, e := range list {
+		out[i] = e
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Fixture for the errwrapped analyzer: typed errors are wrapped with %w and
+// tested with errors.Is/As, never ==, type assertions, or string matching.
+package errwrapped
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+type CorruptPage struct{ Page uint64 }
+
+func (e *CorruptPage) Error() string { return fmt.Sprintf("corrupt page %d", e.Page) }
+
+var errDone = errors.New("done")
+
+// Positive: a type assertion to a concrete error type misses wrapped causes.
+func assertConcrete(err error) uint64 {
+	if ce, ok := err.(*CorruptPage); ok { // want `use errors.As`
+		return ce.Page
+	}
+	return 0
+}
+
+// Positive: same through a type switch.
+func switchConcrete(err error) string {
+	switch e := err.(type) {
+	case *CorruptPage: // want `use errors.As`
+		_ = e
+		return "corrupt"
+	default:
+		return "other"
+	}
+}
+
+// Positive: == against a stdlib sentinel misses wrapped causes.
+func compareSentinel(err error) bool {
+	return err == io.EOF // want `use errors.Is`
+}
+
+// Positive: same for a package-local sentinel.
+func compareLocalSentinel(err error) bool {
+	return err != errDone // want `use errors.Is`
+}
+
+// Positive: %v flattens the cause out of the chain.
+func flattenWrap(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `without %w`
+}
+
+// Positive: matching on rendered text is brittle.
+func stringMatch(err error) bool {
+	return strings.Contains(err.Error(), "corrupt") // want `string-matching`
+}
+
+// Positive: so is comparing it.
+func textCompare(err error) bool {
+	return err.Error() == "done" // want `err.Error\(\) text`
+}
+
+// Near-misses: the approved idioms.
+func good(err error) (uint64, error) {
+	var ce *CorruptPage
+	if errors.As(err, &ce) {
+		return ce.Page, fmt.Errorf("recovering: %w", err)
+	}
+	if errors.Is(err, io.EOF) || err == nil {
+		return 0, nil
+	}
+	return 0, err
+}
+
+// Near-miss: assertions to interfaces are how net-style errors are probed.
+func assertInterface(err error) bool {
+	_, ok := err.(interface{ Timeout() bool })
+	return ok
+}
+
+// Near-miss: string predicates on non-error text.
+func plainStrings(s string) bool {
+	return strings.Contains(s, "corrupt") && s == "done"
+}
+
+// Suppressed: a documented exception.
+func allowCompare(err error) bool {
+	//lint:allow errwrapped csv.Reader documents it returns io.EOF unwrapped
+	return err == io.EOF
+}

@@ -1,0 +1,117 @@
+// Fixture for the leaselease analyzer: buffer leases and page leases must
+// be released on every path. This package type-checks but is never run.
+package leaselease
+
+import (
+	"errors"
+
+	"rodentstore/internal/buffer"
+	"rodentstore/internal/pager"
+)
+
+var errEmpty = errors.New("empty")
+
+// Positive: the lease is never released on the success path.
+func leak(pool *buffer.Pool, id pager.PageID) []byte {
+	l, err := pool.Lease(id) // want `buffer lease may not be released`
+	if err != nil {
+		return nil
+	}
+	return l.Data()
+}
+
+// Positive: released on the happy path, leaked on the early error return.
+func leakOnError(pool *buffer.Pool, id pager.PageID) ([]byte, error) {
+	l, err := pool.Lease(id) // want `buffer lease may not be released`
+	if err != nil {
+		return nil, err
+	}
+	data := append([]byte(nil), l.Data()...)
+	if len(data) == 0 {
+		return nil, errEmpty // forgot l.Release()
+	}
+	if rerr := l.Release(); rerr != nil {
+		return nil, rerr
+	}
+	return data, nil
+}
+
+// Positive: the lease is discarded outright.
+func discard(pool *buffer.Pool, id pager.PageID) error {
+	_, err := pool.Lease(id) // want `buffer lease is discarded`
+	return err
+}
+
+// Positive: a page lease's release func is called on one path only.
+func leakRelease(pool *buffer.Pool, id pager.PageID) []byte {
+	data, release, err := pool.LeasePage(id) // want `page lease \(release func\) may not be released`
+	if err != nil {
+		return nil
+	}
+	if len(data) > 0 {
+		_ = release()
+		return data
+	}
+	return nil // release never called here
+}
+
+// Near-miss: deferred release covers every path.
+func deferRelease(pool *buffer.Pool, id pager.PageID) []byte {
+	l, err := pool.Lease(id)
+	if err != nil {
+		return nil
+	}
+	defer l.Release()
+	return append([]byte(nil), l.Data()...)
+}
+
+// Near-miss: the error guard exempts the failure path; the success path
+// releases with an error check.
+func checkedRelease(pool *buffer.Pool, id pager.PageID) (int, error) {
+	data, release, err := pool.LeasePage(id)
+	if err != nil {
+		return 0, err
+	}
+	n := len(data)
+	if rerr := release(); rerr != nil {
+		return 0, rerr
+	}
+	return n, nil
+}
+
+// Near-miss: ownership transfers to the caller through the return.
+func acquire(pool *buffer.Pool, id pager.PageID) (buffer.Lease, error) {
+	l, err := pool.Lease(id)
+	return l, err
+}
+
+// Near-miss: ownership transfers by passing the lease to a call.
+func handoff(pool *buffer.Pool, id pager.PageID) error {
+	l, err := pool.Lease(id)
+	if err != nil {
+		return err
+	}
+	return consume(l)
+}
+
+func consume(l buffer.Lease) error { return l.Release() }
+
+// Near-miss: the release obligation is returned as a method value — the
+// shape of buffer.Pool.LeasePage itself.
+func leaseBytes(pool *buffer.Pool, id pager.PageID) ([]byte, func() error, error) {
+	l, err := pool.Lease(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l.Data(), l.Release, nil
+}
+
+// Suppressed: an intentional pin-transfer, annotated with the reason.
+func pinned(pool *buffer.Pool, id pager.PageID) []byte {
+	//lint:allow leaselease pin is transferred to the caller, released via Pool.Unpin
+	l, err := pool.Lease(id)
+	if err != nil {
+		return nil
+	}
+	return l.Data()
+}

@@ -1,0 +1,79 @@
+// Fixture for the lockorder analyzer. The test configures its own lock
+// table over these types: Catalog.mu (level 10) → Engine.mu (level 20) →
+// Pager.stripes (level 50), mirroring the engine's hierarchy.
+package lockorder
+
+import "sync"
+
+type Catalog struct{ mu sync.Mutex }
+type Engine struct{ mu sync.RWMutex }
+type Pager struct{ stripes [8]sync.RWMutex }
+
+// Near-miss: acquisitions in hierarchy order.
+func ordered(c *Catalog, e *Engine) {
+	c.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Positive: the catalog lock is below the engine lock in the hierarchy.
+func inverted(c *Catalog, e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c.mu.Lock() // want `lock order violation`
+	c.mu.Unlock()
+}
+
+// Positive: Go mutexes self-deadlock on re-entry.
+func reentrant(c *Catalog) {
+	c.mu.Lock()
+	c.mu.Lock() // want `re-entrant acquisition`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Positive: stripe locks are matched through the local-alias idiom.
+func stripeAlias(p *Pager, e *Engine, i int) {
+	lk := &p.stripes[i]
+	lk.Lock()
+	e.mu.Lock() // want `lock order violation`
+	e.mu.Unlock()
+	lk.Unlock()
+}
+
+// Near-miss: a read lock on a stripe, deferred unlock.
+func stripeOK(p *Pager, i int) int {
+	lk := &p.stripes[i]
+	lk.RLock()
+	defer lk.RUnlock()
+	return i
+}
+
+// Near-miss: sequential (released before the lower level is taken) is not
+// out of order.
+func sequential(c *Catalog, e *Engine) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// Near-miss: a goroutine starts with an empty lock set.
+func spawn(c *Catalog, e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		c.mu.Lock()
+		c.mu.Unlock()
+	}()
+}
+
+// Suppressed: a documented exception.
+func startup(c *Catalog, e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:allow lockorder startup path is single-threaded by construction
+	c.mu.Lock()
+	c.mu.Unlock()
+}

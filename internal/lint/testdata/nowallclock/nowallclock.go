@@ -1,0 +1,45 @@
+// Fixture for the nowallclock analyzer: the test configures the analyzer
+// with this fixture's package path, standing in for the engine's
+// deterministic replay/recovery packages.
+package nowallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Positive: a wall-clock read makes replay unreproducible.
+func stampRecord() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+// Positive: the global rand source is time-seeded.
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(100)) * time.Millisecond // want `global math/rand`
+}
+
+// Positive: sleeping couples replay to the scheduler.
+func backoff(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep`
+}
+
+// Near-miss: an explicitly seeded source is the approved idiom.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Near-miss: methods on an owned *rand.Rand are deterministic given the seed.
+func draw(r *rand.Rand) int64 {
+	return r.Int63()
+}
+
+// Near-miss: converting a stored stamp reads no clock.
+func format(stamp int64) time.Time {
+	return time.Unix(0, stamp)
+}
+
+// Suppressed: a documented exception.
+func allowClock() time.Time {
+	//lint:allow nowallclock operator-facing log line, outside the replay path
+	return time.Now()
+}

@@ -806,10 +806,37 @@ func (ps *parallelScan) cancel() {
 }
 
 // shutdown cancels and then joins every pipeline goroutine, so no worker
-// still holds page leases or issues reads after it returns.
+// still holds page leases or issues reads after it returns. It then
+// recycles every batch the consumer never took — the rest of the current
+// morsel and any delivered-but-unread morsel promises — so an error or an
+// early Close hands each pooled batch to exactly one owner.
 func (ps *parallelScan) shutdown() {
 	ps.cancel()
 	ps.wg.Wait()
+	if ps.have {
+		recycleResults(ps.buf[ps.bufPos:])
+		ps.buf, ps.have = nil, false
+	}
+	// Workers have exited: each promise channel holds at most one
+	// undelivered result slice, and nothing sends anymore.
+	for _, ch := range ps.results {
+		select {
+		case res := <-ch:
+			recycleResults(res)
+		default:
+		}
+	}
+}
+
+// recycleResults hands the batches of undelivered block results back to the
+// pool.
+func recycleResults(res []blockResult) {
+	for i := range res {
+		if res[i].batch != nil {
+			batchPool.Put(res[i].batch)
+			res[i].batch = nil
+		}
+	}
 }
 
 // next returns the next block's result in stored order, awaiting morsel
@@ -936,6 +963,9 @@ func (c *Cursor) startParallel(workers int) {
 				for _, ref := range ps.morsels[mi] {
 					select {
 					case <-ps.done:
+						// Canceled mid-morsel: the results decoded so far
+						// will never reach the consumer — recycle them.
+						recycleResults(res)
 						return
 					default:
 					}
