@@ -26,11 +26,11 @@ import (
 	"rodentstore/internal/bench"
 )
 
-var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter", "agg"}
+var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter", "agg", "scanio"}
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|agg|all")
+		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|agg|scanio|all")
 		n        = flag.Int("n", 1_000_000, "number of observations (paper: 10000000)")
 		queries  = flag.Int("queries", 200, "number of window queries (paper: 200)")
 		area     = flag.Float64("area", 0.01, "query area fraction (paper: 0.01)")
@@ -39,8 +39,12 @@ func main() {
 		dir      = flag.String("dir", os.TempDir(), "scratch directory")
 		seed     = flag.Int64("seed", 1, "random seed")
 		jsonOut  = flag.Bool("json", false, "emit results as one JSON object instead of tables")
+		maxprocs = flag.Int("gomaxprocs", 0, "if > 0, set GOMAXPROCS before running (recorded in the -json header; on a single-core container values > 1 only add scheduler interleaving, not parallel speedup)")
 	)
 	flag.Parse()
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
 
 	cfg := bench.Config{
 		N: *n, Queries: *queries, AreaFraction: *area,
@@ -76,6 +80,8 @@ func main() {
 			return bench.FilteredScan(cfg)
 		case "agg":
 			return bench.AggThroughput(cfg)
+		case "scanio":
+			return bench.ScanIO(cfg)
 		default:
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
@@ -161,6 +167,8 @@ func title(cfg bench.Config, name string) string {
 		return "Ext-11: filtered-scan selectivity sweep (vectorized batches vs boxed rows)"
 	case "agg":
 		return "Ext-13: aggregation throughput (vectorized kernels + morsel scheduler vs boxed rows)"
+	case "scanio":
+		return "Ext-14: scan I/O pipeline (coalesced run reads + async prefetch + scan-resistant admission)"
 	}
 	return name
 }
@@ -185,8 +193,38 @@ func print(name string, data any) error {
 		return printFilter(data.([]bench.FilterResult))
 	case "agg":
 		return printAgg(data.([]bench.AggResult))
+	case "scanio":
+		return printScanIO(data.(*bench.ScanIOReport))
 	}
 	return fmt.Errorf("no printer for %q", name)
+}
+
+func printScanIO(rep *bench.ScanIOReport) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "table pages\t%d\tpool frames\t%d\tdevice\t%.0fus + %dMB/s per ReadAt\n",
+		rep.TablePages, rep.PoolFrames, rep.DevLatencyUs, rep.DevMBps)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\tpipeline\trows\tms\trows/sec\tReadAt ops\tMB read\tspeedup\top reduction\tbypassed\tadmitted")
+	for _, r := range rep.ColdScan {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.0f\t%d\t%.1f\t%.2fx\t%.1fx\t%d\t%d\n",
+			r.Name, r.Pipeline, r.Rows, r.Ms, r.RowsPerSec, r.ReadOps,
+			float64(r.ReadBytes)/(1<<20), r.Speedup, r.OpReduction,
+			r.Pool.Bypassed, r.Pool.Admitted)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\tpipeline\tlookups\thits\tmisses\thit rate\tbaseline\tbypassed\tadmitted")
+	for _, m := range rep.Mixed {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.1f%%\t%.1f%%\t%d\t%d\n",
+			m.Name, m.Pipeline, m.Lookups, m.LookupHits, m.LookupMisses,
+			m.HitRate*100, m.BaselineHitRate*100, m.Bypassed, m.Admitted)
+	}
+	return w.Flush()
 }
 
 func printAgg(results []bench.AggResult) error {

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+func TestScanIOShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig(t)
+	rep, err := ScanIO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ColdScan) != len(scanIOPipelines) || len(rep.Mixed) != len(scanIOPipelines) {
+		t.Fatalf("got %d cold / %d mixed runs, want %d each", len(rep.ColdScan), len(rep.Mixed), len(scanIOPipelines))
+	}
+	off := rep.ColdScan[0]
+	if off.Pipeline != "off" {
+		t.Fatalf("first cold run is %q, want off", off.Pipeline)
+	}
+	for _, r := range rep.ColdScan {
+		// Every pipeline setting scans the same table in full.
+		if r.Rows != int64(cfg.N) {
+			t.Errorf("%s: scanned %d rows, want %d", r.Name, r.Rows, cfg.N)
+		}
+		if r.ReadOps == 0 {
+			t.Errorf("%s: counted no ReadAt ops on a cold scan", r.Name)
+		}
+		if r.Pipeline == "off" {
+			continue
+		}
+		// The headline claims: coalescing collapses the op count, and the
+		// bypass lane (not the CLOCK ring) absorbs the scan's pages.
+		if r.OpReduction < 4 {
+			t.Errorf("%s: op reduction %.1fx, want >= 4x", r.Name, r.OpReduction)
+		}
+		if r.Pool.Bypassed == 0 {
+			t.Errorf("%s: cold scan admitted every page into the ring", r.Name)
+		}
+	}
+	for _, m := range rep.Mixed {
+		if m.Lookups == 0 {
+			t.Errorf("%s: no lookups ran during the scan", m.Name)
+		}
+		if m.Pipeline == "off" {
+			continue
+		}
+		// Scan-resistant admission keeps the hot set resident: the lookup hit
+		// rate under a concurrent scan must not collapse below the undisturbed
+		// baseline's neighborhood.
+		if m.HitRate < m.BaselineHitRate*0.9 {
+			t.Errorf("%s: hit rate %.2f collapsed below baseline %.2f", m.Name, m.HitRate, m.BaselineHitRate)
+		}
+	}
+}

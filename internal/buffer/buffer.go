@@ -31,12 +31,17 @@ import (
 // shard is pinned; scan paths degrade to uncached reads instead of failing.
 var errShardPinned = errors.New("all frames in shard pinned")
 
-// Stats counts pool activity, aggregated over all shards.
+// Stats counts pool activity, aggregated over all shards. Bypassed and
+// Admitted account the scan-resistant lane (see scanread.go): pages a
+// coalesced scan read pulled around the CLOCK ring, and pages that ghost
+// re-reference promoted into it.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
 	Flushes   uint64
+	Bypassed  uint64
+	Admitted  uint64
 }
 
 type frame struct {
@@ -66,6 +71,17 @@ type shard struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	flushes   atomic.Uint64
+	bypassed  atomic.Uint64
+	admitted  atomic.Uint64
+
+	// Ghost ring of the scan-resistant admission lane (see scanread.go): the
+	// page IDs of recent single-touch scan reads, sized like the frame array.
+	// A scan page found here on its next touch is deemed re-referenced and
+	// admitted to the CLOCK ring. Guarded by mu; allocated on first use so
+	// pools that never see coalesced scans pay nothing.
+	ghost    []pager.PageID
+	ghostIdx map[pager.PageID]bool
+	ghostPos int
 }
 
 // Pool is a fixed-capacity page cache. All methods are safe for concurrent
@@ -360,6 +376,10 @@ func (p *Pool) Invalidate() error {
 			delete(sh.index, f.id)
 			f.occupied = false
 		}
+		// Forget single-touch history too: experiments expect Invalidate to
+		// restore a fully cold cache, and a stale ghost ring would promote
+		// the next scan's pages as if they were re-referenced.
+		sh.ghost, sh.ghostIdx, sh.ghostPos = nil, nil, 0
 		sh.mu.Unlock()
 	}
 	return nil
@@ -422,6 +442,8 @@ func (p *Pool) Stats() Stats {
 		s.Misses += sh.misses.Load()
 		s.Evictions += sh.evictions.Load()
 		s.Flushes += sh.flushes.Load()
+		s.Bypassed += sh.bypassed.Load()
+		s.Admitted += sh.admitted.Load()
 	}
 	return s
 }

@@ -115,3 +115,61 @@ func pinned(pool *buffer.Pool, id pager.PageID) []byte {
 	}
 	return l.Data()
 }
+
+// runFetch and runPrefetcher mirror the scan prefetcher's run-buffer
+// handoff: LeaseRun returns the fetched run plus a release func() error that
+// recycles the buffers, the same obligation shape as LeasePage.
+type runFetch struct{ data []byte }
+
+type runPrefetcher struct{}
+
+func (*runPrefetcher) LeaseRun() (runFetch, func() error, error) {
+	return runFetch{}, func() error { return nil }, nil
+}
+
+// Positive: the run lease's release func is dropped on the early return.
+func leakRunLease(pf *runPrefetcher) []byte {
+	rf, release, err := pf.LeaseRun() // want `run lease \(release func\) may not be released`
+	if err != nil {
+		return nil
+	}
+	if len(rf.data) == 0 {
+		return nil // forgot release()
+	}
+	_ = release()
+	return rf.data
+}
+
+// Positive: the release obligation is discarded outright.
+func discardRunLease(pf *runPrefetcher) ([]byte, error) {
+	rf, _, err := pf.LeaseRun() // want `run lease \(release func\) is discarded`
+	return rf.data, err
+}
+
+// Near-miss: stored into a struct field — ownership transfers to the holder
+// (the runLoader shape: the loader releases the previous lease when the next
+// run is adopted and on close).
+type runHolder struct{ release func() error }
+
+func storeRunLease(pf *runPrefetcher, h *runHolder) error {
+	rf, release, err := pf.LeaseRun()
+	if err != nil {
+		return err
+	}
+	h.release = release
+	_ = rf.data
+	return nil
+}
+
+// Near-miss: released on every path, with the error checked.
+func checkedRunLease(pf *runPrefetcher) (int, error) {
+	rf, release, err := pf.LeaseRun()
+	if err != nil {
+		return 0, err
+	}
+	n := len(rf.data)
+	if rerr := release(); rerr != nil {
+		return 0, rerr
+	}
+	return n, nil
+}

@@ -1,0 +1,161 @@
+package segment
+
+// Coalesced run reads: a scan that is about to decode a run of physically
+// adjacent blocks can fetch the whole run's bytes with one large positional
+// read instead of one range read per block. FetchRunInto performs the raw
+// fetch (one RangeReader call when the page source supports it), AdoptRun
+// installs the fetched bytes as the reader's current run, and View then
+// serves any block inside the run straight from the buffer with no further
+// I/O. The fetch is split from the adopt so an asynchronous prefetcher can
+// read the next run on a Clone while the owner decodes the current one.
+//
+// Partial results: a coalesced read that hits a corrupt page still yields
+// the verified prefix, so FetchRunInto reports how many *leading* blocks of
+// the run are fully contained in the returned bytes. Callers adopt that
+// prefix and retry or quarantine only the failed tail — never the blocks
+// that already read cleanly.
+
+import (
+	"fmt"
+
+	"rodentstore/internal/pager"
+)
+
+// RangeReader is an optional PageSource extension for coalesced multi-page
+// reads: ReadRunInto appends the payloads of npages pages starting at start
+// to dst using (at most) one underlying positional read per gap of uncached
+// pages. *pager.File implements it with a single ReadAt for the whole run;
+// *buffer.Pool implements it serving resident pages from its frames and
+// reading only the gaps, admitting scan pages through its scan-resistant
+// bypass lane. On a checksum failure the verified payload prefix is still
+// appended and the error identifies the corrupt page.
+type RangeReader interface {
+	ReadRunInto(dst []byte, start pager.PageID, npages uint64) ([]byte, error)
+}
+
+// runSpan returns the byte range [off, end) of the segment stream covering
+// blocks [lo, hi).
+func (r *Reader) runSpan(lo, hi int) (off, end uint64) {
+	first := r.meta.Blocks[lo]
+	last := r.meta.Blocks[hi-1]
+	return first.Off, last.Off + uint64(last.Len)
+}
+
+// goodBlocks counts the leading blocks of [lo, hi) whose bytes are fully
+// contained in avail bytes of stream starting at byte offset base.
+func (r *Reader) goodBlocks(lo, hi int, base uint64, avail int) int {
+	good := 0
+	for b := lo; b < hi; b++ {
+		bm := r.meta.Blocks[b]
+		if bm.Off+uint64(bm.Len) > base+uint64(avail) {
+			break
+		}
+		good++
+	}
+	return good
+}
+
+// FetchRunInto reads the raw stream bytes covering blocks [lo, hi) into buf
+// (reusing its capacity) with one coalesced read when the page source
+// implements RangeReader, falling back to per-page reads otherwise. It
+// returns the fetched bytes — page-aligned, starting at the page boundary at
+// or before block lo — and the number of leading blocks fully covered by
+// them. On error the returned count may be short of hi-lo (a verified
+// prefix) and the error describes the first failure; blocks in the prefix
+// are still usable via AdoptRun.
+//
+// FetchRunInto touches none of the reader's mutable state, so a prefetcher
+// may call it on a Clone while the owning goroutine decodes.
+func (r *Reader) FetchRunInto(buf []byte, lo, hi int) ([]byte, int, error) {
+	if lo < 0 || hi <= lo || hi > len(r.meta.Blocks) {
+		return buf[:0], 0, fmt.Errorf("segment: run [%d,%d) out of range", lo, hi)
+	}
+	off, end := r.runSpan(lo, hi)
+	if end > r.meta.UsedBytes {
+		return buf[:0], 0, r.corrupt(lo, fmt.Errorf("run [%d,%d) beyond used bytes %d", off, end, r.meta.UsedBytes))
+	}
+	payload := uint64(r.file.PayloadSize())
+	firstPage := off / payload
+	lastPage := (end - 1) / payload
+	base := firstPage * payload
+	start := r.meta.ExtentStart + pager.PageID(firstPage)
+	npages := lastPage - firstPage + 1
+
+	var (
+		data []byte
+		err  error
+	)
+	if rr, ok := r.file.(RangeReader); ok {
+		data, err = rr.ReadRunInto(buf[:0], start, npages)
+	} else {
+		data, err = r.fetchRunPages(buf[:0], start, npages)
+	}
+	good := r.goodBlocks(lo, hi, base, len(data))
+	if err != nil {
+		return data, good, r.classifyReadErr(lo+good, err)
+	}
+	return data, good, nil
+}
+
+// fetchRunPages is FetchRunInto's fallback for plain PageSources: one read
+// per page, appended in order, stopping at the first failure (the verified
+// prefix is kept). It bypasses the reader's lookbehind so it stays safe to
+// run on a Clone concurrently with the owner.
+func (r *Reader) fetchRunPages(dst []byte, start pager.PageID, npages uint64) ([]byte, error) {
+	leaser, _ := r.file.(PageLeaser)
+	for i := uint64(0); i < npages; i++ {
+		id := start + pager.PageID(i)
+		if leaser != nil {
+			page, release, err := leaser.LeasePage(id)
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, page...)
+			if err := release(); err != nil {
+				return dst, err
+			}
+			continue
+		}
+		page, err := r.file.ReadPage(id)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, page...)
+	}
+	return dst, nil
+}
+
+// AdoptRun installs data — bytes from FetchRunInto for blocks [lo, lo+good)
+// — as the reader's current run: Views of those blocks decode straight from
+// it with no I/O. The reader borrows data until the next AdoptRun, DropRun,
+// or the reader's end of life; a prefetcher recycling its buffers must keep
+// the handoff alive until the run's last block has been decoded.
+func (r *Reader) AdoptRun(lo, good int, data []byte) {
+	if good <= 0 {
+		return
+	}
+	payload := uint64(r.file.PayloadSize())
+	r.runLo, r.runHi = lo, lo+good
+	r.runOff = r.meta.Blocks[lo].Off / payload * payload
+	r.runData = data
+}
+
+// DropRun forgets the adopted run (if any), so subsequent Views go back to
+// per-block reads. It does not free the buffer — that belongs to whoever
+// handed it to AdoptRun.
+func (r *Reader) DropRun() {
+	r.runLo, r.runHi, r.runOff, r.runData = 0, 0, 0, nil
+}
+
+// PreloadRun fetches blocks [lo, hi) into the reader's own run buffer with
+// one coalesced read and adopts the result. It returns how many leading
+// blocks were loaded; on error that count may be short (the verified prefix
+// is still adopted) and the caller decides whether to retry the failed tail
+// — [lo+n, hi) — or fall back to per-block reads.
+func (r *Reader) PreloadRun(lo, hi int) (int, error) {
+	data, good, err := r.FetchRunInto(r.runOwn[:0], lo, hi)
+	r.runOwn = data[:0]
+	r.DropRun()
+	r.AdoptRun(lo, good, data)
+	return good, err
+}

@@ -273,6 +273,14 @@ type Reader struct {
 	// view, so steady-state block reads allocate nothing.
 	rawBuf []byte
 	view   BlockView
+	// Coalesced run state (see runread.go): blocks [runLo, runHi) are
+	// resident in runData, whose first byte is stream offset runOff. runOwn
+	// is the reader-owned buffer PreloadRun fetches into; runData may instead
+	// borrow a prefetcher's buffer via AdoptRun.
+	runLo, runHi int
+	runOff       uint64
+	runData      []byte
+	runOwn       []byte
 }
 
 // NewReader opens a segment for reading.

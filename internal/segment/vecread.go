@@ -38,11 +38,20 @@ func (r *Reader) View(i int) (*BlockView, error) {
 		return nil, fmt.Errorf("segment: block %d out of range", i)
 	}
 	bm := r.meta.Blocks[i]
-	raw, err := r.readRangeInto(r.rawBuf[:0], bm.Off, bm.Len)
-	if err != nil {
-		return nil, err
+	var raw []byte
+	if i >= r.runLo && i < r.runHi {
+		// Block is resident in the adopted coalesced run: slice it out with
+		// no I/O (see runread.go).
+		s := bm.Off - r.runOff
+		raw = r.runData[s : s+uint64(bm.Len)]
+	} else {
+		var err error
+		raw, err = r.readRangeInto(r.rawBuf[:0], bm.Off, bm.Len)
+		if err != nil {
+			return nil, err
+		}
+		r.rawBuf = raw
 	}
-	r.rawBuf = raw
 	if len(raw) < 12 {
 		return nil, r.corrupt(i, fmt.Errorf("block truncated"))
 	}

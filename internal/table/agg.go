@@ -804,15 +804,22 @@ func (c *Cursor) runAggregate() error {
 			final.merge(ex, res.agg, &as)
 		}
 	} else {
+		observe := func(ref blockRef) (*aggState, error) {
+			p := c.parts[ref.part]
+			if err := c.rl.ensure(ref, p.readers); err != nil {
+				return nil, err
+			}
+			return ex.observeBlock(p, p.readers, ref.block, c.filter, &c.vs, &c.dec, &as)
+		}
 		for _, ref := range c.blocks {
 			ref := ref
-			st, err := ex.observeBlock(c.parts[ref.part], c.parts[ref.part].readers, ref.block, c.filter, &c.vs, &c.dec, &as)
+			st, err := observe(ref)
 			if err != nil {
 				if c.quar == nil {
 					return err
 				}
 				skipped, qerr := c.quar.handle(c.parts[ref.part], ref, err, func() error {
-					st, err = ex.observeBlock(c.parts[ref.part], c.parts[ref.part].readers, ref.block, c.filter, &c.vs, &c.dec, &as)
+					st, err = observe(ref)
 					return err
 				})
 				if qerr != nil {

@@ -46,6 +46,16 @@ type ScanOptions struct {
 	// flag exists for differential tests and as the Ext-11 benchmark
 	// baseline.
 	NoVectorize bool
+	// Coalesce turns on coalesced run reads: physically adjacent blocks are
+	// fetched with one large positional read per segment instead of one
+	// range read per block (see prefetch.go). Results are identical; the
+	// paper-figure experiments keep it off so the serial path's page/seek
+	// accounting stays byte-identical.
+	Coalesce bool
+	// Prefetch implies Coalesce and additionally reads the next run
+	// asynchronously (double-buffered) while the current one decodes, hiding
+	// read latency behind decode time.
+	Prefetch bool
 	// Quarantine degrades gracefully on damaged data: blocks that cannot be
 	// read (after transient errors are retried with capped backoff) are
 	// skipped instead of aborting the scan, and the affected extents are
@@ -94,7 +104,10 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 			needsReorg = true // reorganize needs the exclusive lock; retry below
 			return nil
 		}
-		so := storedScanOpts{noZone: opts.NoZonePrune, noVec: opts.NoVectorize, quarantine: opts.Quarantine}
+		so := storedScanOpts{
+			noZone: opts.NoZonePrune, noVec: opts.NoVectorize, quarantine: opts.Quarantine,
+			io: scanIO{coalesce: opts.Coalesce || opts.Prefetch, prefetch: opts.Prefetch},
+		}
 		if opts.Aggregate != nil {
 			if len(opts.Fields) > 0 {
 				return fmt.Errorf("table: Aggregate and Fields are mutually exclusive (group keys and aggregates define the output)")
@@ -133,6 +146,7 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 			if opts.Parallel {
 				cur.startParallel(opts.Workers)
 			}
+			cur.setupScanIO()
 			if err := cur.runAggregate(); err != nil {
 				cur.Close()
 				return err
@@ -146,6 +160,7 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 		if opts.Parallel {
 			cur.startParallel(opts.Workers)
 		}
+		cur.setupScanIO()
 		if len(opts.Order) > 0 && !e.orderMatchesStored(tab, opts.Order) {
 			return cur.materializeSort(opts.Order)
 		}
@@ -358,6 +373,28 @@ type Cursor struct {
 	// quar, when non-nil, enables corruption quarantine: unreadable blocks
 	// are recorded here and skipped instead of failing the scan.
 	quar *quarState
+	// io are the scan I/O pipeline knobs; rl, when non-nil, drives the serial
+	// path's coalesced/prefetched run reads (parallel workers own their own
+	// loaders). See prefetch.go.
+	io scanIO
+	rl *runLoader
+}
+
+// setupScanIO arms the serial scan I/O pipeline after the executor choice is
+// settled: the parallel pipeline gives each worker its own loader instead,
+// and a scan with no blocks has nothing to coalesce.
+func (c *Cursor) setupScanIO() {
+	if !c.io.coalesce || c.par != nil || len(c.blocks) == 0 || c.rl != nil {
+		return
+	}
+	rl := newRunLoader(c.parts, c.io.prefetch)
+	rl.setSeq(c.blocks)
+	c.rl = rl
+	if rl.pf != nil {
+		// Like the parallel pipeline: an abandoned cursor must not leave the
+		// prefetch goroutine parked forever. Close still joins it first.
+		runtime.AddCleanup(c, func(pf *prefetcher) { pf.close() }, rl.pf)
+	}
 }
 
 // Report returns what a quarantined scan has skipped so far. Complete only
@@ -373,6 +410,10 @@ func (c *Cursor) Schema() *value.Schema { return c.schema }
 func (c *Cursor) Close() {
 	if c.par != nil {
 		c.par.shutdown()
+	}
+	if c.rl != nil {
+		c.rl.close()
+		c.rl = nil
 	}
 	c.exhausted = true
 	c.buf = nil
@@ -516,6 +557,9 @@ func (c *Cursor) advance() error {
 // (vectorized path) or c.buf (boxed path).
 func (c *Cursor) loadBlock(ref blockRef) error {
 	p := c.parts[ref.part]
+	if err := c.rl.ensure(ref, p.readers); err != nil {
+		return err
+	}
 	if c.filter != nil {
 		batch, err := decodeBlockVec(p, p.readers, ref.block, c.decoded, c.schema, c.filter, c.outIdx, c.identity, &c.vs)
 		if err != nil {
@@ -936,7 +980,7 @@ func (c *Cursor) startParallel(workers int) {
 	parts := c.parts
 	decoded, pred, outIdx := c.decoded, c.pred, c.outIdx
 	outSchema, filter, identity := c.schema, c.filter, c.identity
-	quar, agg := c.quar, c.agg
+	quar, agg, io := c.quar, c.agg, c.io
 	runtime.AddCleanup(c, func(ps *parallelScan) { ps.cancel() }, ps)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -948,6 +992,11 @@ func (c *Cursor) startParallel(workers int) {
 			var dec rowDecoder
 			var vs vecScratch
 			var as aggScratch
+			var rl *runLoader
+			if io.coalesce {
+				rl = newRunLoader(parts, io.prefetch)
+				defer rl.close()
+			}
 			for {
 				// Acquire a run-ahead ticket, then claim the next morsel.
 				select {
@@ -960,6 +1009,9 @@ func (c *Cursor) startParallel(workers int) {
 					return // queue drained; ticket is moot, nothing waits on it
 				}
 				res := make([]blockResult, 0, len(ps.morsels[mi]))
+				if rl != nil {
+					rl.setSeq(ps.morsels[mi])
+				}
 				for _, ref := range ps.morsels[mi] {
 					select {
 					case <-ps.done:
@@ -981,6 +1033,9 @@ func (c *Cursor) startParallel(workers int) {
 					}
 					load := func() blockResult {
 						var r blockResult
+						if r.err = rl.ensure(ref, cloned[ref.part]); r.err != nil {
+							return r
+						}
 						switch {
 						case agg != nil:
 							r.agg, r.err = agg.observeBlock(p, cloned[ref.part], ref.block, filter, &vs, &dec, &as)
@@ -1118,6 +1173,7 @@ func boundsOf(tab *catalog.Table) []transforms.GridBounds {
 // pruning only, noVec selects the boxed row-at-a-time executor.
 type storedScanOpts struct {
 	raw, noZone, noVec, quarantine bool
+	io                             scanIO
 }
 
 // scanStored builds a cursor over the stored representation. fields nil
@@ -1218,6 +1274,7 @@ func (e *Engine) scanStoredOpts(tab *catalog.Table, fields []string, pred algebr
 		filter:   filter,
 		parts:    parts,
 		blocks:   blocks,
+		io:       so.io,
 	}
 	if so.quarantine {
 		c.quar = newQuarState()

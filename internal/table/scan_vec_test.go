@@ -129,6 +129,11 @@ func TestVectorizedScanDifferential(t *testing.T) {
 				}{
 					{"vec-serial-next", base, false},
 					{"vec-serial-batch", base, true},
+					{"vec-coalesce", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Coalesce: true}, false},
+					{"vec-prefetch", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Prefetch: true}, true},
+					{"boxed-coalesce", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Coalesce: true, NoVectorize: true}, false},
+					{"boxed-prefetch", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Prefetch: true, NoVectorize: true}, false},
+					{"vec-parallel-prefetch", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4, Prefetch: true}, true},
 					{"vec-parallel-next", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4}, false},
 					{"vec-parallel-batch", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4}, true},
 					{"boxed-parallel", ScanOptions{Fields: fields, Pred: pred, NoZonePrune: noZone, Parallel: true, Workers: 4, NoVectorize: true}, false},
