@@ -26,11 +26,11 @@ import (
 	"rodentstore/internal/bench"
 )
 
-var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter", "agg", "scanio"}
+var allExperiments = []string{"fig2", "curve", "cells", "pagesize", "codecs", "fold", "dsm", "advisor", "reorg", "throughput", "ingest", "filter", "agg", "scanio", "compact"}
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|agg|scanio|all")
+		exp      = flag.String("exp", "fig2", "experiment: fig2|curve|cells|pagesize|codecs|fold|dsm|advisor|reorg|throughput|ingest|filter|agg|scanio|compact|all")
 		n        = flag.Int("n", 1_000_000, "number of observations (paper: 10000000)")
 		queries  = flag.Int("queries", 200, "number of window queries (paper: 200)")
 		area     = flag.Float64("area", 0.01, "query area fraction (paper: 0.01)")
@@ -82,6 +82,8 @@ func main() {
 			return bench.AggThroughput(cfg)
 		case "scanio":
 			return bench.ScanIO(cfg)
+		case "compact":
+			return bench.SustainedCompaction(cfg)
 		default:
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
@@ -169,6 +171,8 @@ func title(cfg bench.Config, name string) string {
 		return "Ext-13: aggregation throughput (vectorized kernels + morsel scheduler vs boxed rows)"
 	case "scanio":
 		return "Ext-14: scan I/O pipeline (coalesced run reads + async prefetch + scan-resistant admission)"
+	case "compact":
+		return "Ext-15: sustained ingest under leveled compaction (incremental folds vs full rewrites)"
 	}
 	return name
 }
@@ -195,8 +199,21 @@ func print(name string, data any) error {
 		return printAgg(data.([]bench.AggResult))
 	case "scanio":
 		return printScanIO(data.(*bench.ScanIOReport))
+	case "compact":
+		return printCompact(data.([]bench.CompactResult))
 	}
 	return fmt.Errorf("no printer for %q", name)
+}
+
+func printCompact(results []bench.CompactResult) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "run\tpolicy\tstage\ttable rows\tinsert rows/sec\tscan rows/sec\tmerges\tMB rewritten\tMB/merge")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.0f\t%.0f\t%d\t%.2f\t%.2f\n",
+			r.Name, r.Policy, r.Stage, r.TableRows, r.InsertRowsPerSec, r.ScanRowsPerSec,
+			r.Merges, float64(r.MergeBytes)/(1<<20), float64(r.BytesPerMerge)/(1<<20))
+	}
+	return w.Flush()
 }
 
 func printScanIO(rep *bench.ScanIOReport) error {

@@ -61,6 +61,22 @@ func (db *DB) Insert(name string, rows []Row) error { return db.eng.Insert(name,
 // Reorganize re-renders the table under its current (or pending) layout.
 func (db *DB) Reorganize(name string) error { return db.eng.Reorganize(name) }
 
+// Compact folds accumulated tail batches into the table's run hierarchy and
+// cascades level merges per the layout's compaction policy (sizetiered[k]
+// or leveled[k] in the layout expression). Each merge folds one level into
+// the next — O(level) work — instead of rewriting the whole table. For
+// layouts without a compaction policy, Compact behaves like Reorganize.
+// The background merge worker (Options.AutoMergeTails) calls this
+// automatically when a policy table accumulates fanout tail batches.
+func (db *DB) Compact(name string) error { return db.eng.Compact(name) }
+
+// CompactStats reports fold work done since open: merge count, rows and
+// payload bytes written into rendered runs (per-merge write amplification).
+type CompactStats = table.CompactStats
+
+// CompactionStats returns a snapshot of the engine's fold counters.
+func (db *DB) CompactionStats() CompactStats { return db.eng.CompactStats() }
+
 // AlterLayout switches the table to a new layout expression. With
 // eager=true the data is rewritten immediately; otherwise lazily on next
 // access (paper §5's reorganization strategies).

@@ -328,6 +328,39 @@ func (e *Chunk) String() string {
 // Inputs implements Expr.
 func (e *Chunk) Inputs() []Expr { return []Expr{e.Input} }
 
+// CompactKind selects a run-compaction policy (leveled storage; see
+// CobbleDB's composition of LSM runs in storage-algebra terms).
+type CompactKind string
+
+const (
+	// CompactSizeTiered folds a level into the next once it accumulates
+	// Fanout runs: each level holds up to Fanout-1 runs of similar size.
+	CompactSizeTiered CompactKind = "sizetiered"
+	// CompactLeveled keeps at most one run per level and folds a run into
+	// the level above once it outgrows that level's target size (targets
+	// grow by a factor of Fanout per level).
+	CompactLeveled CompactKind = "leveled"
+)
+
+// Compact annotates a layout with a run-compaction policy: inserts
+// accumulate as L0 tail batches, folds render them into organized runs, and
+// compaction folds whole levels into the next — O(level) work per merge
+// instead of an O(table) rewrite. Like Chunk it does not change the logical
+// relation; it directs how renderings are maintained.
+type Compact struct {
+	Kind   CompactKind
+	Fanout int
+	Input  Expr
+}
+
+// String implements Expr.
+func (e *Compact) String() string {
+	return fmt.Sprintf("%s[%d](%s)", e.Kind, e.Fanout, e.Input.String())
+}
+
+// Inputs implements Expr.
+func (e *Compact) Inputs() []Expr { return []Expr{e.Input} }
+
 // Walk visits e and all descendants in pre-order.
 func Walk(e Expr, visit func(Expr)) {
 	visit(e)

@@ -363,6 +363,16 @@ func buildOp(name, args string, inputs []Expr) (Expr, error) {
 			return nil, fmt.Errorf("algebra: chunk: bad size %q", args)
 		}
 		return &Chunk{N: n, Input: in}, nil
+	case "sizetiered", "leveled":
+		in, err := one()
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(args))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("algebra: %s: bad fanout %q (need an integer >= 2)", name, args)
+		}
+		return &Compact{Kind: CompactKind(name), Fanout: n, Input: in}, nil
 	case "fold":
 		in, err := one()
 		if err != nil {

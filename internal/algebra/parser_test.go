@@ -31,6 +31,8 @@ var canonical = []string{
 	"rowmajor(grid[x; 8](T))",
 	"transpose(T)",
 	"chunk[1000](Traces)",
+	"sizetiered[4](orderby[t](Traces))",
+	"leveled[8](cols(Traces))",
 	"delta[lat,lon](zorder(grid[lat,lon; 64,64](project[lat,lon](orderby[t](groupby[id](Traces))))))",
 	`select[area = 617](T)`,
 	`select[lat >= 42.3 and lat < 42.4 and id = "car-7"](Traces)`,
@@ -91,6 +93,11 @@ func TestParseErrors(t *testing.T) {
 		"select[a = 1 or b = 2](T)",
 		"orderby[](T)",
 		"orderby[a sideways](T)",
+		"sizetiered[](T)",
+		"sizetiered[1](T)",
+		"sizetiered[abc](T)",
+		"leveled[0](T)",
+		"leveled[4](T, U)",
 		"zorder(T) extra",
 		`select[a = "unterminated](T)`,
 	}

@@ -248,6 +248,17 @@ func Infer(e Expr, schemas map[string]*value.Schema) (*value.Schema, error) {
 		}
 		return Infer(n.Input, schemas)
 
+	case *Compact:
+		switch n.Kind {
+		case CompactSizeTiered, CompactLeveled:
+		default:
+			return nil, fmt.Errorf("algebra: unknown compaction policy %q", n.Kind)
+		}
+		if n.Fanout < 2 {
+			return nil, fmt.Errorf("algebra: %s fanout %d (need >= 2)", n.Kind, n.Fanout)
+		}
+		return Infer(n.Input, schemas)
+
 	default:
 		return nil, fmt.Errorf("algebra: unknown expression node %T", e)
 	}

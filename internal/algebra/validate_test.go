@@ -45,6 +45,8 @@ func TestInferValid(t *testing.T) {
 		{"grid[lat,lon; 64,64](Traces)", "t:int, lat:float, lon:float, id:string"},
 		{"zorder(grid[lat,lon; 8,8](Traces))", "t:int, lat:float, lon:float, id:string"},
 		{"limit[10](chunk[5](Traces))", "t:int, lat:float, lon:float, id:string"},
+		{"sizetiered[4](orderby[t](Traces))", "t:int, lat:float, lon:float, id:string"},
+		{"leveled[8](project[lat,lon](Traces))", "lat:float, lon:float"},
 		{"delta[lat,lon](zorder(grid[lat,lon; 64,64](project[lat,lon](orderby[t](groupby[id](Traces))))))", "lat:float, lon:float"},
 	}
 	for _, c := range cases {
@@ -89,6 +91,16 @@ func TestInferErrors(t *testing.T) {
 		}
 		if _, err := Infer(e, schemas); err == nil {
 			t.Errorf("Infer(%q) should fail", src)
+		}
+	}
+	// The parser rejects malformed compaction directives, but a hand-built
+	// node with a bad kind or fanout must not sneak past validation either.
+	for _, n := range []Expr{
+		&Compact{Kind: "mystery", Fanout: 4, Input: &Base{Name: "Traces"}},
+		&Compact{Kind: CompactLeveled, Fanout: 1, Input: &Base{Name: "Traces"}},
+	} {
+		if _, err := Infer(n, schemas); err == nil {
+			t.Errorf("Infer(%s) should fail", n)
 		}
 	}
 }

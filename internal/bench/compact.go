@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rodentstore/internal/cartel"
+	"rodentstore/internal/table"
+	"rodentstore/internal/value"
+)
+
+// CompactResult is one stage of the Ext-15 sustained-ingest measurement:
+// one policy's insert and scan throughput at a given table size, plus the
+// fold work the stage's merges performed.
+type CompactResult struct {
+	// Name labels the measurement, e.g. "compact none stage=3".
+	Name string
+	// Policy is "none" (every merge is a full Reorganize), "sizetiered" or
+	// "leveled".
+	Policy string
+	// Stage is the growth step (1-based); the table holds Stage×stageRows
+	// rows at measurement time.
+	Stage int
+	// TableRows is the table size after this stage's inserts.
+	TableRows int64
+	// InsertRowsPerSec is acked-insert throughput over the stage: rows
+	// divided by the wall time of the inserts plus their triggered merges
+	// (merges run synchronously so the cost they impose on ingest is the
+	// thing measured, not hidden in a background queue).
+	InsertRowsPerSec float64
+	// ScanRowsPerSec is full-scan throughput right after the stage.
+	ScanRowsPerSec float64
+	// Merges and MergeBytes are the folds this stage triggered and the
+	// payload bytes they rewrote (for policy=none each merge is a full
+	// Reorganize, so its bytes are the whole rendered table).
+	Merges int64
+	// MergeBytes is the total payload rewritten by this stage's merges.
+	MergeBytes int64
+	// BytesPerMerge is MergeBytes/Merges (0 when no merge ran). Sublinear
+	// growth across stages is the leveled-storage claim; linear growth is
+	// the O(table) baseline.
+	BytesPerMerge int64
+}
+
+// compactStages is how many growth steps Ext-15 runs: the table ends 8×
+// past the first stage (which itself crosses the tail-merge threshold), the
+// ISSUE-15 acceptance floor.
+const compactStages = 8
+
+// compactFanout is both the compaction fanout and the tail threshold: a
+// fold triggers once this many tail batches accumulate, for every policy,
+// so the three curves fold equally often and differ only in what a fold
+// rewrites.
+const compactFanout = 4
+
+// compactPolicies are the three curves Ext-15 sweeps. "none" is the
+// committed single-rendering baseline: the same fold schedule, but every
+// fold is a full Reorganize.
+var compactPolicies = []string{"none", "sizetiered", "leveled"}
+
+// SustainedCompaction (Ext-15) measures ingest-while-scanning as a table
+// grows far past its tail-merge threshold. Each stage inserts a fixed
+// number of rows in tail batches, folding synchronously every compactFanout
+// batches — via Engine.Compact, which for a compaction-annotated layout
+// folds one level's runs (O(level)) and for the plain layout rewrites the
+// whole rendering (O(table)). After each stage a full scan is timed. With a
+// policy the per-merge bytes stay bounded by the hierarchy, so insert and
+// scan rows/sec hold roughly flat; without one the per-merge cost grows
+// with the table and ingest throughput decays — the degradation ROADMAP
+// item 3 describes.
+func SustainedCompaction(cfg Config) ([]CompactResult, error) {
+	batchRows := cfg.N / (compactStages * 2 * compactFanout) // two folds per stage
+	if batchRows < 64 {
+		batchRows = 64
+	}
+	stageRows := batchRows * 2 * compactFanout
+	rows := cartel.Generate(cartel.DefaultConfig(compactStages * stageRows))
+
+	var out []CompactResult
+	for _, policy := range compactPolicies {
+		res, err := runCompact(cfg, policy, rows, stageRows, batchRows)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// runCompact drives one policy's staged growth on a fresh store.
+func runCompact(cfg Config, policy string, rows []value.Row, stageRows, batchRows int) ([]CompactResult, error) {
+	e, err := newEnv(cfg, "compact-"+policy)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	base := fmt.Sprintf("chunk[%d](orderby[t](Compact))", batchRows)
+	layout := base
+	if policy != "none" {
+		layout = fmt.Sprintf("%s[%d](%s)", policy, compactFanout, base)
+	}
+	if err := e.eng.Create("Compact", cartel.Schema(), layout); err != nil {
+		return nil, err
+	}
+
+	var out []CompactResult
+	var prev table.CompactStats
+	next := 0
+	for stage := 1; stage <= compactStages; stage++ {
+		// Ingest phase: insert tail batches, folding synchronously at the
+		// threshold. The timer spans inserts and folds together — the acked
+		// throughput an application sustaining this rate would see.
+		start := time.Now()
+		for b := 0; b < 2*compactFanout; b++ {
+			if err := e.eng.Insert("Compact", rows[next:next+batchRows]); err != nil {
+				return nil, err
+			}
+			next += batchRows
+			if b%compactFanout == compactFanout-1 {
+				if err := e.eng.Compact("Compact"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		ingestSecs := time.Since(start).Seconds()
+
+		total, err := e.eng.RowCount("Compact")
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		scanned, err := fullScanRows(e, "Compact")
+		if err != nil {
+			return nil, err
+		}
+		scanSecs := time.Since(start).Seconds()
+		if scanned != total {
+			return nil, fmt.Errorf("compact %s stage %d: scan saw %d of %d rows", policy, stage, scanned, total)
+		}
+
+		st := e.eng.CompactStats()
+		merges := st.Merges - prev.Merges
+		bytes := st.Bytes - prev.Bytes
+		prev = st
+		r := CompactResult{
+			Name:       fmt.Sprintf("compact %s stage=%d", policy, stage),
+			Policy:     policy,
+			Stage:      stage,
+			TableRows:  total,
+			Merges:     merges,
+			MergeBytes: bytes,
+		}
+		if ingestSecs > 0 {
+			r.InsertRowsPerSec = float64(stageRows) / ingestSecs
+		}
+		if scanSecs > 0 {
+			r.ScanRowsPerSec = float64(scanned) / scanSecs
+		}
+		if merges > 0 {
+			r.BytesPerMerge = bytes / merges
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// fullScanRows drains a full table scan and returns the row count.
+func fullScanRows(e *env, name string) (int64, error) {
+	cur, err := e.eng.Scan(name, table.ScanOptions{})
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	var n int64
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

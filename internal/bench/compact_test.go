@@ -1,0 +1,66 @@
+package bench
+
+import "testing"
+
+func TestSustainedCompactionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig(t)
+	cfg.N = 20_000
+	results, err := SustainedCompaction(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(compactPolicies)*compactStages {
+		t.Fatalf("results: %d, want %d", len(results), len(compactPolicies)*compactStages)
+	}
+	perPolicy := map[string][]CompactResult{}
+	for _, r := range results {
+		perPolicy[r.Policy] = append(perPolicy[r.Policy], r)
+	}
+	for _, policy := range compactPolicies {
+		rs := perPolicy[policy]
+		if len(rs) != compactStages {
+			t.Fatalf("%s: %d stages", policy, len(rs))
+		}
+		for i, r := range rs {
+			if r.Stage != i+1 {
+				t.Errorf("%s: stage %d out of order", policy, r.Stage)
+			}
+			if r.TableRows != rs[0].TableRows*int64(i+1) {
+				t.Errorf("%s stage %d: table rows %d", policy, r.Stage, r.TableRows)
+			}
+			if r.InsertRowsPerSec <= 0 || r.ScanRowsPerSec <= 0 {
+				t.Errorf("%s stage %d: nonpositive throughput %+v", policy, r.Stage, r)
+			}
+			if r.Merges <= 0 || r.MergeBytes <= 0 {
+				t.Errorf("%s stage %d: no merge work recorded: %+v", policy, r.Stage, r)
+			}
+		}
+		// The table must end >= 8x past the first fold threshold.
+		if last := rs[len(rs)-1]; last.TableRows < 8*rs[0].TableRows {
+			t.Errorf("%s: final table only %dx the first stage", policy, last.TableRows/rs[0].TableRows)
+		}
+	}
+	// The O(table) baseline's per-merge rewrite grows with the table; the
+	// policies keep it sublinear. Compare last-stage bytes-per-merge: the
+	// plain path must rewrite strictly more per merge than either policy
+	// (at 8x growth the gap is already severalfold, so this is not tight).
+	noneLast := perPolicy["none"][compactStages-1]
+	for _, policy := range compactPolicies[1:] {
+		// Compare the policy's worst late-half merge against the baseline:
+		// cascade stages spike, but even the spikes stay below the full
+		// rewrite.
+		var worst int64
+		for _, r := range perPolicy[policy][compactStages/2:] {
+			if r.BytesPerMerge > worst {
+				worst = r.BytesPerMerge
+			}
+		}
+		if worst >= noneLast.BytesPerMerge {
+			t.Errorf("%s: worst late bytes/merge %d not below full-rewrite %d",
+				policy, worst, noneLast.BytesPerMerge)
+		}
+	}
+}

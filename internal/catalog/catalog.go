@@ -11,6 +11,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -19,6 +20,11 @@ import (
 	"rodentstore/internal/segment"
 	"rodentstore/internal/value"
 )
+
+// ErrNotFound is wrapped by lookups and deletes of absent tables. Callers
+// that race with DropTable (the background merge worker, most notably) test
+// with errors.Is instead of treating every lookup failure as damage.
+var ErrNotFound = errors.New("table not found")
 
 // Meta slot assignments in the pager header.
 const (
@@ -60,13 +66,29 @@ type SegmentEntry struct {
 	Meta   segment.Meta `json:"meta"`
 }
 
+// RunEntry is one organized rendering in a table's run hierarchy (leveled
+// storage). Level 1 runs hold freshly folded tail batches; compaction folds
+// every run of a level into a single run at level+1, so higher levels hold
+// strictly older data. Segments is one rendered segment list in the table's
+// layout (aligned with Table.Segments vertical partitioning); Rows is the
+// run's logical row count.
+type RunEntry struct {
+	Level    int            `json:"level"`
+	Rows     int64          `json:"rows"`
+	Segments []SegmentEntry `json:"segments"`
+}
+
 // Table is the catalog record of one table.
 type Table struct {
-	Name       string           `json:"name"`
-	Fields     []FieldMeta      `json:"schema"`
-	LayoutExpr string           `json:"layout"`
-	RowCount   int64            `json:"rows"`
-	Segments   []SegmentEntry   `json:"segments,omitempty"`
+	Name       string         `json:"name"`
+	Fields     []FieldMeta    `json:"schema"`
+	LayoutExpr string         `json:"layout"`
+	RowCount   int64          `json:"rows"`
+	Segments   []SegmentEntry `json:"segments,omitempty"`
+	// Runs is the leveled run hierarchy between the bulk-loaded main
+	// rendering (Segments, the oldest data) and the unorganized Tails (the
+	// newest). Empty unless the table's layout carries a compaction policy.
+	Runs       []RunEntry       `json:"runs,omitempty"`
 	Tails      [][]SegmentEntry `json:"tails,omitempty"` // per insert batch, aligned with Segments
 	GridBounds []GridBoundsMeta `json:"grid,omitempty"`
 	Indexes    []IndexMeta      `json:"indexes,omitempty"`
@@ -177,7 +199,7 @@ func (c *Catalog) Get(name string) (*Table, error) {
 	defer c.mu.Unlock()
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: no table %q", name)
+		return nil, fmt.Errorf("catalog: no table %q: %w", name, ErrNotFound)
 	}
 	return t, nil
 }
@@ -242,7 +264,7 @@ func (c *Catalog) Delete(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; !ok {
-		return fmt.Errorf("catalog: no table %q", name)
+		return fmt.Errorf("catalog: no table %q: %w", name, ErrNotFound)
 	}
 	delete(c.tables, name)
 	return c.flush()

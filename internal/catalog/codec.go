@@ -22,9 +22,14 @@ import (
 // written before this encoding open cleanly; the first flush rewrites them
 // in binary form.
 
+// Version 1 is the original binary layout; version 2 appends each table's
+// leveled run list (Runs) after PendingExpr. The encoder emits version 1
+// whenever no table has runs — so stores that never enable a compaction
+// policy keep writing byte-identical catalogs — and version 2 otherwise.
 const (
-	catMagic   = 0xC7
-	catVersion = 1
+	catMagic     = 0xC7
+	catVersion   = 1
+	catVersionV2 = 2
 )
 
 // encodeTables serializes the catalog's table list.
@@ -36,8 +41,15 @@ func encodeTables(tables []*Table) []byte {
 // the encoded bytes. The catalog's flush keeps a scratch buffer so the
 // per-insert catalog rewrite does not reallocate its way up from empty.
 func encodeTablesInto(buf []byte, tables []*Table) []byte {
+	ver := byte(catVersion)
+	for _, t := range tables {
+		if len(t.Runs) > 0 {
+			ver = catVersionV2
+			break
+		}
+	}
 	e := &enc{buf: buf[:0]}
-	e.buf = append(e.buf, catMagic, catVersion)
+	e.buf = append(e.buf, catMagic, ver)
 	e.uvarint(uint64(len(tables)))
 	for _, t := range tables {
 		e.str(t.Name)
@@ -68,6 +80,14 @@ func encodeTablesInto(buf []byte, tables []*Table) []byte {
 		}
 		e.bool(t.NeedsReorg)
 		e.str(t.PendingExpr)
+		if ver >= catVersionV2 {
+			e.uvarint(uint64(len(t.Runs)))
+			for _, r := range t.Runs {
+				e.i64(int64(r.Level))
+				e.i64(r.Rows)
+				e.segments(r.Segments)
+			}
+		}
 	}
 	return e.buf
 }
@@ -96,9 +116,10 @@ func decodeTables(buf []byte) ([]*Table, error) {
 		}
 		return tables, nil
 	}
-	if len(buf) < 2 || buf[0] != catMagic || buf[1] != catVersion {
+	if len(buf) < 2 || buf[0] != catMagic || (buf[1] != catVersion && buf[1] != catVersionV2) {
 		return nil, fmt.Errorf("catalog: bad catalog header % x", buf[:min(len(buf), 2)])
 	}
+	ver := buf[1]
 	d := &dec{buf: buf[2:]}
 	n := d.uvarint()
 	tables := make([]*Table, 0, n)
@@ -129,6 +150,14 @@ func decodeTables(buf []byte) ([]*Table, error) {
 		}
 		t.NeedsReorg = d.bool()
 		t.PendingExpr = d.str()
+		if ver >= catVersionV2 {
+			nr := d.uvarint()
+			for j := uint64(0); j < nr && d.err == nil; j++ {
+				t.Runs = append(t.Runs, RunEntry{
+					Level: int(d.i64()), Rows: d.i64(), Segments: d.segments(),
+				})
+			}
+		}
 		tables = append(tables, t)
 	}
 	if d.err != nil {

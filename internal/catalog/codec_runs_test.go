@@ -1,0 +1,83 @@
+package catalog
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rodentstore/internal/segment"
+)
+
+func runTable() *Table {
+	t := sampleTable()
+	t.Runs = []RunEntry{
+		{Level: 2, Rows: 80, Segments: []SegmentEntry{{
+			Fields: []string{"t", "lat", "id"},
+			Codecs: []string{"", "", "dict"},
+			Meta: segment.Meta{
+				ExtentStart: 30, ExtentPages: 6, UsedBytes: 4100, Rows: 80,
+				Blocks: []segment.BlockMeta{{Off: 0, Len: 4100, Rows: 80, Cell: segment.NoCell}},
+			},
+		}}},
+		{Level: 1, Rows: 25, Segments: []SegmentEntry{{
+			Fields: []string{"t", "lat", "id"},
+			Codecs: []string{"", "", ""},
+			Meta: segment.Meta{
+				ExtentStart: 40, ExtentPages: 2, UsedBytes: 900, Rows: 25,
+				Blocks: []segment.BlockMeta{{Off: 0, Len: 900, Rows: 25, Cell: segment.NoCell}},
+			},
+		}}},
+	}
+	return t
+}
+
+func TestCodecRunsRoundtrip(t *testing.T) {
+	want := []*Table{runTable(), sampleTable()}
+	blob := encodeTables(want)
+	if blob[1] != catVersionV2 {
+		t.Fatalf("catalog with runs should encode as v%d, got v%d", catVersionV2, blob[1])
+	}
+	got, err := decodeTables(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got[0], want[0])
+	}
+}
+
+func TestCodecRunFreeTablesStayV1(t *testing.T) {
+	// A catalog without runs must keep emitting the version-1 format so
+	// default-path databases (and the paper figures built on them) stay
+	// byte-identical across this change.
+	tables := []*Table{sampleTable(), sampleTable()}
+	tables[1].Name = "Other"
+	blob := encodeTables(tables)
+	if blob[1] != catVersion {
+		t.Fatalf("run-free catalog should encode as v%d, got v%d", catVersion, blob[1])
+	}
+	got, err := decodeTables(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tables) {
+		t.Error("v1 roundtrip mismatch")
+	}
+
+	// Dropping the runs from a v2 table must fall back to the v1 bytes
+	// exactly — the version bump is data-driven, not sticky.
+	rt := runTable()
+	rt.Runs = nil
+	if !bytes.Equal(encodeTables([]*Table{rt}), encodeTables([]*Table{sampleTable()})) {
+		t.Error("table with cleared runs does not re-encode identically to v1")
+	}
+}
+
+func TestCodecV2Truncated(t *testing.T) {
+	blob := encodeTables([]*Table{runTable()})
+	for _, cut := range []int{len(blob) - 1, len(blob) / 2, 3} {
+		if _, err := decodeTables(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}

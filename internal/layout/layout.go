@@ -57,6 +57,14 @@ type GridSpec struct {
 	Curve algebra.CurveKind
 }
 
+// CompactionSpec is a run-compaction policy directive: the table keeps a
+// leveled hierarchy of organized runs between the main rendering and the
+// unorganized tails, folded one level at a time by the merge worker.
+type CompactionSpec struct {
+	Kind   algebra.CompactKind
+	Fanout int
+}
+
 // Spec is a compiled physical storage plan.
 type Spec struct {
 	Table        string
@@ -65,6 +73,9 @@ type Spec struct {
 	Segments     []SegmentDef
 	Grid         *GridSpec
 	RowsPerBlock int
+	// Compaction, when set, maintains the table as leveled runs instead of
+	// one monolithic rendering (see internal/table compaction).
+	Compaction *CompactionSpec
 	// FinalSchema is the schema of the rendered row stream (after steps).
 	FinalSchema *value.Schema
 }
@@ -94,6 +105,7 @@ func Compile(expr algebra.Expr, schemas map[string]*value.Schema) (*Spec, error)
 		Steps:        c.steps,
 		Grid:         c.grid,
 		RowsPerBlock: c.rowsPerBlock,
+		Compaction:   c.compaction,
 		FinalSchema:  final,
 	}
 
@@ -154,6 +166,22 @@ func Compile(expr algebra.Expr, schemas map[string]*value.Schema) (*Spec, error)
 			return nil, fmt.Errorf("layout: grid over folded data is not supported")
 		}
 	}
+	// Compaction maintains per-run renderings; compositions whose physical
+	// mapping is global — a grid's cell directory and curve span the whole
+	// table, fold's groups span every row — cannot be kept per run.
+	if spec.Compaction != nil {
+		if spec.Grid != nil {
+			return nil, fmt.Errorf("layout: %s compaction over a gridded layout is not supported", spec.Compaction.Kind)
+		}
+		if c.hasFold {
+			return nil, fmt.Errorf("layout: %s compaction over folded data is not supported", spec.Compaction.Kind)
+		}
+		for _, st := range c.steps {
+			if st.Kind == StepLimit {
+				return nil, fmt.Errorf("layout: %s compaction cannot maintain a limit step", spec.Compaction.Kind)
+			}
+		}
+	}
 	if spec.RowsPerBlock == 0 {
 		spec.RowsPerBlock = 4096
 	}
@@ -170,6 +198,7 @@ type compiler struct {
 	groups       [][]string
 	rowsPerBlock int
 	hasFold      bool
+	compaction   *CompactionSpec
 }
 
 // walk descends to the base first so steps accumulate inside-out (base
@@ -303,6 +332,15 @@ func (c *compiler) walk(e algebra.Expr) error {
 			return fmt.Errorf("layout: multiple chunk directives")
 		}
 		c.rowsPerBlock = n.N
+		return nil
+	case *algebra.Compact:
+		if err := c.walk(n.Input); err != nil {
+			return err
+		}
+		if c.compaction != nil {
+			return fmt.Errorf("layout: multiple compaction directives")
+		}
+		c.compaction = &CompactionSpec{Kind: n.Kind, Fanout: n.Fanout}
 		return nil
 	default:
 		return fmt.Errorf("layout: unsupported node %T", e)

@@ -144,18 +144,22 @@ func TestCompileSelectLimit(t *testing.T) {
 
 func TestCompileErrors(t *testing.T) {
 	bad := []string{
-		"cols(cols(Traces))",                     // double segmentation
-		"colgroup[lat](cols(Traces))",            // mixed segmentation
-		"delta[lat](delta[lat](Traces))",         // double compression
-		"grid[lat; 4](grid[lon; 4](Traces))",     // double grid
-		"chunk[2](chunk[3](Traces))",             // double chunk
-		"hilbert(grid[lat; 8](Traces))",          // hilbert needs 2 dims
-		"prejoin[area](Areas, Areas)",            // prejoin in layout
-		"transpose(Traces)",                      // transpose in layout
-		"project[lat](delta[lon](Traces))",       // compressed field projected away
-		"project[t](grid[lat,lon; 4,4](Traces))", // grid dims projected away
-		"grid[area; 4](fold[zip; area](Areas))",  // grid over fold
-		"unfold(Areas)",                          // unfold without fold (also caught by Infer)
+		"cols(cols(Traces))",                        // double segmentation
+		"colgroup[lat](cols(Traces))",               // mixed segmentation
+		"delta[lat](delta[lat](Traces))",            // double compression
+		"grid[lat; 4](grid[lon; 4](Traces))",        // double grid
+		"chunk[2](chunk[3](Traces))",                // double chunk
+		"hilbert(grid[lat; 8](Traces))",             // hilbert needs 2 dims
+		"prejoin[area](Areas, Areas)",               // prejoin in layout
+		"transpose(Traces)",                         // transpose in layout
+		"project[lat](delta[lon](Traces))",          // compressed field projected away
+		"project[t](grid[lat,lon; 4,4](Traces))",    // grid dims projected away
+		"grid[area; 4](fold[zip; area](Areas))",     // grid over fold
+		"unfold(Areas)",                             // unfold without fold (also caught by Infer)
+		"sizetiered[4](leveled[4](Traces))",         // double compaction directive
+		"sizetiered[4](grid[lat,lon; 4,4](Traces))", // per-run grids break global cell addressing
+		"leveled[4](fold[zip; area](Areas))",        // fold groups globally
+		"leveled[4](limit[10](Traces))",             // limit is a whole-table property
 	}
 	for _, src := range bad {
 		e, err := algebra.Parse(src)
@@ -165,6 +169,25 @@ func TestCompileErrors(t *testing.T) {
 		if _, err := Compile(e, schemas()); err == nil {
 			t.Errorf("Compile(%q) should fail", src)
 		}
+	}
+}
+
+func TestCompileCompaction(t *testing.T) {
+	spec := compile(t, "sizetiered[4](orderby[t](Traces))")
+	if spec.Compaction == nil || spec.Compaction.Kind != algebra.CompactSizeTiered || spec.Compaction.Fanout != 4 {
+		t.Fatalf("compaction: %+v", spec.Compaction)
+	}
+	// The directive is an annotation: the physical plan underneath is the
+	// same as without it.
+	plain := compile(t, "orderby[t](Traces)")
+	if len(spec.Steps) != len(plain.Steps) || len(spec.Segments) != len(plain.Segments) {
+		t.Errorf("compaction changed the physical plan: %+v vs %+v", spec, plain)
+	}
+	if lev := compile(t, "leveled[8](cols(Traces))"); lev.Compaction.Kind != algebra.CompactLeveled || lev.Compaction.Fanout != 8 {
+		t.Errorf("leveled: %+v", lev.Compaction)
+	}
+	if compile(t, "rows(Traces)").Compaction != nil {
+		t.Error("plain layout grew a compaction spec")
 	}
 }
 

@@ -25,6 +25,8 @@ func TestLockOrder(t *testing.T) {
 	table := []lint.LockClass{
 		{Path: path, Type: "Catalog", Field: "mu", Name: "catalog", Level: 10},
 		{Path: path, Type: "Engine", Field: "mu", Name: "engine", Level: 20},
+		{Path: path, Type: "MergeEngine", Field: "mergeMu", Name: "merge-registry", Level: 22},
+		{Path: path, Type: "Merger", Field: "mu", Name: "merge-queue", Level: 24},
 		{Path: path, Type: "Pager", Field: "stripes", Name: "pager-stripe", Level: 50},
 	}
 	linttest.Run(t, lint.NewLockOrder(table), dir)

@@ -17,11 +17,23 @@ type LockClass struct {
 }
 
 // DefaultLockOrder is the machine-readable form of the hierarchy documented
-// in DESIGN.md: catalog → table engine → buffer shard → pager. Edit this
-// table and DESIGN.md together.
+// in DESIGN.md: catalog → table engine → merge registry → merge queue →
+// free queue → buffer shard → pager. Edit this table and DESIGN.md
+// together.
+//
+// The three compaction-worker classes sit between the engine's compile
+// cache and the buffer/pager layers: the merge registry (Engine.mergeMu)
+// publishes the pool, the merge queue (merger.mu) hands tables to workers,
+// and the free queue (Engine.freeMu) stages superseded run extents for the
+// next checkpoint. None of the three may be held while acquiring the other
+// two out of order, and all must be released before descending into the
+// pager.
 var DefaultLockOrder = []LockClass{
 	{Path: "rodentstore/internal/catalog", Type: "Catalog", Field: "mu", Name: "catalog", Level: 10},
 	{Path: "rodentstore/internal/table", Type: "Engine", Field: "mu", Name: "table-engine", Level: 20},
+	{Path: "rodentstore/internal/table", Type: "Engine", Field: "mergeMu", Name: "merge-registry", Level: 22},
+	{Path: "rodentstore/internal/table", Type: "merger", Field: "mu", Name: "merge-queue", Level: 24},
+	{Path: "rodentstore/internal/table", Type: "Engine", Field: "freeMu", Name: "free-queue", Level: 26},
 	{Path: "rodentstore/internal/buffer", Type: "shard", Field: "mu", Name: "buffer-shard", Level: 30},
 	{Path: "rodentstore/internal/pager", Type: "File", Field: "mu", Name: "pager-meta", Level: 40},
 	{Path: "rodentstore/internal/pager", Type: "File", Field: "pageLocks", Name: "pager-stripe", Level: 50},

@@ -173,3 +173,79 @@ func checkedRunLease(pf *runPrefetcher) (int, error) {
 	}
 	return n, nil
 }
+
+// Leveled-storage readers walk a table's run hierarchy part by part; each
+// run's blocks are leased from the pool, so a scan loop carries one open
+// obligation per run. These fixtures pin the per-run shapes.
+
+// Positive: the per-run lease leaks when the loop exits early on a
+// predicate hit — the obligation from the current iteration is never
+// released.
+func leakPerRunLease(pool *buffer.Pool, runs []pager.PageID) []byte {
+	for _, id := range runs {
+		l, err := pool.Lease(id) // want `buffer lease may not be released`
+		if err != nil {
+			return nil
+		}
+		if len(l.Data()) > 0 {
+			return l.Data() // forgot l.Release() before returning
+		}
+		_ = l.Release()
+	}
+	return nil
+}
+
+// Positive: the run's release func is dropped when a later run in the same
+// iteration fails.
+func leakRunOnNextError(pf *runPrefetcher, n int) error {
+	for i := 0; i < n; i++ {
+		rf, release, err := pf.LeaseRun() // want `run lease \(release func\) may not be released`
+		if err != nil {
+			return err
+		}
+		if len(rf.data) == 0 {
+			return errEmpty // forgot release()
+		}
+		_ = release()
+	}
+	return nil
+}
+
+// Near-miss: the idiomatic per-run reader — every iteration releases its
+// lease before the next run is fetched, and the early exit releases first.
+func mergeRunsReleased(pool *buffer.Pool, runs []pager.PageID) ([]byte, error) {
+	var out []byte
+	for _, id := range runs {
+		l, err := pool.Lease(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l.Data()...)
+		if rerr := l.Release(); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return out, nil
+}
+
+// Near-miss: a deferred release covers every exit of the per-run closure,
+// the shape the morsel-parallel scan uses for its per-part workers.
+func perRunClosure(pool *buffer.Pool, runs []pager.PageID) error {
+	for _, id := range runs {
+		err := func() error {
+			l, err := pool.Lease(id)
+			if err != nil {
+				return err
+			}
+			defer l.Release()
+			if len(l.Data()) == 0 {
+				return errEmpty
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

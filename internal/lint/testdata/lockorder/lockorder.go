@@ -77,3 +77,39 @@ func startup(c *Catalog, e *Engine) {
 	c.mu.Lock()
 	c.mu.Unlock()
 }
+
+// Merger mirrors the compaction worker pool: the engine's merge registry
+// (level 22) publishes the pool, the pool's queue lock (level 24) hands
+// tables to workers.
+type Merger struct{ mu sync.Mutex }
+
+type MergeEngine struct{ mergeMu sync.Mutex }
+
+// Near-miss: the worker pattern — registry consulted and released, then the
+// queue lock taken, released across the fold, retaken for bookkeeping.
+func workerLoop(e *MergeEngine, m *Merger) {
+	e.mergeMu.Lock()
+	e.mergeMu.Unlock()
+	m.mu.Lock()
+	m.mu.Unlock()
+	// ... fold runs without either lock held ...
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+// Positive: consulting the registry while holding the queue lock inverts
+// the hierarchy (and would deadlock against EnableAutoMerge's replace).
+func queueThenRegistry(e *MergeEngine, m *Merger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e.mergeMu.Lock() // want `lock order violation`
+	e.mergeMu.Unlock()
+}
+
+// Positive: a worker re-entering its own queue lock self-deadlocks.
+func workerReentry(m *Merger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mu.Lock() // want `re-entrant acquisition`
+	m.mu.Unlock()
+}

@@ -1,0 +1,273 @@
+package table
+
+// Leveled run storage (ROADMAP item 3, after CobbleDB's composition of LSM
+// runs in storage-algebra terms): a table whose layout carries a compaction
+// directive — sizetiered[k](...) or leveled[k](...) — keeps its data as a
+// hierarchy of runs instead of one monolithic rendering. Unorganized tail
+// batches are level 0; a fold renders all current tails into one organized
+// level-1 run; compaction folds whole levels into the next. Every fold is
+// O(the folded runs), never O(table), so write amplification under sustained
+// ingest stays bounded by the hierarchy depth instead of growing linearly
+// with table size (the degradation Ext-15 measures on the default path).
+//
+// Invariant: catalog.Table.Runs is kept in chronological order, oldest data
+// first, which coincides with non-increasing levels (a level-L run is always
+// newer than every level-(L+1) run: tail folds append the newest data at
+// level 1, and a level fold merges runs that are adjacent in age). Scans
+// concatenate main segments, runs in slice order, then tails — global insert
+// order, the same contract single-rendering tables have.
+//
+// Each run is organized: the layout's full pipeline (project, select,
+// orderby, groupby) runs per fold, and the segment writer emits per-block
+// zone maps, so zone pruning works run by run. Compositions whose physical
+// mapping is inherently global (grid, fold, limit) are rejected with the
+// compaction directive at compile time.
+//
+// Durability rides the PR-6 protocol unchanged: new run segments are written
+// before the copy-on-write catalog swap, a checkpoint barrier precedes any
+// free, superseded extents are deferred to the next checkpoint in durable
+// mode, and a checkpoint after the flip drains them.
+
+import (
+	"fmt"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/layout"
+	"rodentstore/internal/transforms"
+	"rodentstore/internal/txn"
+)
+
+// CompactStats counts background/foreground fold work since the engine
+// opened: incremental run folds, plus full re-renders that absorbed tails
+// or runs (the plain path's O(table) merge). Bytes is the payload written
+// by those folds — the write amplification Ext-15 reports per merge.
+type CompactStats struct {
+	Merges int64 // folds performed (tail folds + level folds)
+	Rows   int64 // rows written into rendered runs
+	Bytes  int64 // payload bytes written into rendered runs
+}
+
+// CompactStats returns a snapshot of the fold counters.
+func (e *Engine) CompactStats() CompactStats {
+	return CompactStats{
+		Merges: e.statMerges.Load(),
+		Rows:   e.statMergeRows.Load(),
+		Bytes:  e.statMergeBytes.Load(),
+	}
+}
+
+// Compact folds a table's accumulated tail batches into its run hierarchy
+// and cascades level folds until its compaction policy is satisfied. Tables
+// whose layout has no compaction directive (or with a pending lazy layout
+// change) fall back to a full Reorganize — Compact is always safe to call.
+// The background merge worker routes every triggered table through here.
+func (e *Engine) Compact(name string) error {
+	return e.withLock(name, txn.Exclusive, func() error {
+		tab, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		spec, err := e.compile(tab.LayoutExpr)
+		if err != nil {
+			return err
+		}
+		if tab.NeedsReorg || spec.Compaction == nil {
+			return e.reorganizeLocked(tab)
+		}
+		return e.compactLocked(tab, spec)
+	})
+}
+
+// compactLocked runs the fold loop. Caller holds the exclusive table lock
+// and has verified spec.Compaction is set.
+func (e *Engine) compactLocked(tab *catalog.Table, spec *layout.Spec) error {
+	e.dropInsertSnap(tab.Name)
+	// Copy-on-write: all mutation happens on a private copy with fresh
+	// slices; the one Put below swaps it in, so a concurrent checkpoint
+	// flush never encodes a half-folded table.
+	work := *tab
+	cur := &work
+	var freed []catalog.SegmentEntry
+
+	// Level-0 fold: every current tail batch becomes one organized level-1
+	// run (the newest run, so it appends at the end of the hierarchy).
+	if len(cur.Tails) > 0 {
+		run, err := e.renderRun(cur, spec, nil, cur.Tails, 1)
+		if err != nil {
+			return err
+		}
+		for _, batch := range cur.Tails {
+			freed = append(freed, batch...)
+		}
+		cur.Runs = append(append([]catalog.RunEntry(nil), cur.Runs...), run)
+		cur.Tails = nil
+	}
+
+	// Cascade: fold whole levels into the next until the policy holds.
+	for {
+		lo, hi, level, ok := pickFold(cur.Runs, spec)
+		if !ok {
+			break
+		}
+		run, err := e.renderRun(cur, spec, cur.Runs[lo:hi], nil, level)
+		if err != nil {
+			return err
+		}
+		for _, r := range cur.Runs[lo:hi] {
+			freed = append(freed, r.Segments...)
+		}
+		runs := append([]catalog.RunEntry(nil), cur.Runs[:lo]...)
+		runs = append(runs, run)
+		cur.Runs = append(runs, cur.Runs[hi:]...)
+	}
+
+	if len(freed) == 0 {
+		return nil // nothing triggered; catalog untouched
+	}
+	// A fold reorders every position past the immutable main prefix, so
+	// indexes whose coverage extends beyond it describe stale positions.
+	var mainRows int64
+	if len(cur.Segments) > 0 {
+		mainRows = cur.Segments[0].Meta.Rows
+	}
+	var kept []catalog.IndexMeta
+	for _, ix := range cur.Indexes {
+		if ix.Rows <= mainRows {
+			kept = append(kept, ix)
+		}
+	}
+	cur.Indexes = kept
+
+	if err := e.checkpointBeforeFree(); err != nil {
+		return err
+	}
+	if err := e.cat.Put(cur); err != nil {
+		return err
+	}
+	for _, s := range freed {
+		if err := e.freeSegment(s.Meta); err != nil {
+			return err
+		}
+	}
+	return e.checkpointAfterFlip()
+}
+
+// renderRun reads the given runs and tail batches back in chronological
+// order, re-applies the layout pipeline, and writes one organized run at the
+// given level. It does not touch the catalog — the caller swaps the record.
+func (e *Engine) renderRun(tab *catalog.Table, spec *layout.Spec, runs []catalog.RunEntry, tails [][]catalog.SegmentEntry, level int) (catalog.RunEntry, error) {
+	view := *tab
+	view.Segments = nil
+	view.Runs = runs
+	view.Tails = tails
+	rows, readSchema, err := e.readAllRows(&view)
+	if err != nil {
+		return catalog.RunEntry{}, err
+	}
+	logical, err := tab.Schema()
+	if err != nil {
+		return catalog.RunEntry{}, err
+	}
+	if readSchema.String() != logical.String() {
+		// The stored form dropped attributes (e.g. project[lat,lon]); run
+		// the pipeline against what is actually stored, as Reorganize does.
+		spec, err = e.compileAgainst(tab.LayoutExpr, tab.Name, readSchema)
+		if err != nil {
+			return catalog.RunEntry{}, fmt.Errorf("table: compact %q: layout needs attributes the stored form dropped: %w", tab.Name, err)
+		}
+	}
+	rel := transforms.Relation{Schema: readSchema, Rows: rows}
+	rel, err = e.applySteps(rel, spec, false)
+	if err != nil {
+		return catalog.RunEntry{}, err
+	}
+	entries := make([]catalog.SegmentEntry, 0, len(spec.Segments))
+	var bytes uint64
+	for _, def := range spec.Segments {
+		entry, err := e.writeSegment(rel, def, spec.RowsPerBlock, nil)
+		if err != nil {
+			return catalog.RunEntry{}, err
+		}
+		bytes += entry.Meta.UsedBytes
+		entries = append(entries, entry)
+	}
+	e.statMerges.Add(1)
+	e.statMergeRows.Add(int64(len(rel.Rows)))
+	e.statMergeBytes.Add(int64(bytes))
+	return catalog.RunEntry{Level: level, Rows: int64(len(rel.Rows)), Segments: entries}, nil
+}
+
+// pickFold selects the next fold: the contiguous range runs[lo:hi) to merge
+// and the level of the resulting run. ok=false means the policy is
+// satisfied. Runs are grouped by level (contiguous by the chronological
+// invariant) and checked newest level first.
+func pickFold(runs []catalog.RunEntry, spec *layout.Spec) (lo, hi, level int, ok bool) {
+	comp := spec.Compaction
+	if len(runs) == 0 || comp == nil {
+		return 0, 0, 0, false
+	}
+	type group struct {
+		level, lo, hi int
+		rows          int64
+	}
+	var groups []group
+	for i, r := range runs {
+		if n := len(groups); n > 0 && groups[n-1].level == r.Level {
+			groups[n-1].hi = i + 1
+			groups[n-1].rows += r.Rows
+		} else {
+			groups = append(groups, group{level: r.Level, lo: i, hi: i + 1, rows: r.Rows})
+		}
+	}
+	for i := len(groups) - 1; i >= 0; i-- {
+		g := groups[i]
+		switch comp.Kind {
+		case algebra.CompactSizeTiered:
+			// A level folds once it accumulates Fanout runs.
+			if g.hi-g.lo >= comp.Fanout {
+				return g.lo, g.hi, g.level + 1, true
+			}
+		case algebra.CompactLeveled:
+			// At most one run per level: merge duplicates in place first.
+			if g.hi-g.lo > 1 {
+				return g.lo, g.hi, g.level, true
+			}
+			// A run that outgrows its level's target merges into the level
+			// above (together with that level's run, if present).
+			if g.rows >= targetRows(spec, g.level) {
+				lo := g.lo
+				if i > 0 && groups[i-1].level == g.level+1 {
+					lo = groups[i-1].lo
+				}
+				return lo, g.hi, g.level + 1, true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// targetRows is the leveled policy's per-level size target: one block of
+// rows at level 0, growing by the fanout per level — so each promotion
+// rewrites geometrically more data geometrically less often.
+func targetRows(spec *layout.Spec, level int) int64 {
+	t := int64(spec.RowsPerBlock)
+	for i := 0; i < level; i++ {
+		t *= int64(spec.Compaction.Fanout)
+		if t > 1<<40 {
+			break
+		}
+	}
+	return t
+}
+
+// compactionOf returns the compaction policy of a layout expression, or nil
+// when the layout has none (or does not compile — callers surface compile
+// errors on their own paths).
+func (e *Engine) compactionOf(layoutExpr string) *layout.CompactionSpec {
+	spec, err := e.compile(layoutExpr)
+	if err != nil {
+		return nil
+	}
+	return spec.Compaction
+}

@@ -1,0 +1,325 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"rodentstore/internal/algebra"
+	"rodentstore/internal/catalog"
+	"rodentstore/internal/pager"
+	"rodentstore/internal/value"
+)
+
+// insertBatches appends n batches of size rows each, with distinct t keys
+// starting at base, and returns the inserted rows.
+func insertBatches(t *testing.T, e *Engine, n, size, base int) []value.Row {
+	t.Helper()
+	var all []value.Row
+	for b := 0; b < n; b++ {
+		batch := traceRows(size)
+		for i := range batch {
+			batch[i][0] = value.NewInt(int64(base + b*size + i))
+		}
+		if err := e.Insert("Traces", batch); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+	}
+	return all
+}
+
+func TestCompactFoldsTailsIntoRun(t *testing.T) {
+	e, _, rows := setup(t, "sizetiered[4](orderby[t](Traces))", 200)
+	extra := insertBatches(t, e, 3, 40, 1000)
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	if len(tab.Tails) != 0 {
+		t.Errorf("tails not folded: %d left", len(tab.Tails))
+	}
+	if len(tab.Runs) != 1 || tab.Runs[0].Level != 1 {
+		t.Fatalf("want one level-1 run, got %+v", tab.Runs)
+	}
+	if tab.Runs[0].Rows != 120 {
+		t.Errorf("run rows: %d", tab.Runs[0].Rows)
+	}
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, drain(t, cur), append(append([]value.Row{}, rows...), extra...))
+}
+
+func TestCompactNoopWithoutTails(t *testing.T) {
+	e, _, _ := setup(t, "sizetiered[4](rows(Traces))", 100)
+	tab, _ := e.cat.Get("Traces")
+	before := fmt.Sprintf("%+v", tab)
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ = e.cat.Get("Traces")
+	if got := fmt.Sprintf("%+v", tab); got != before {
+		t.Errorf("no-op compact changed the record:\n before %s\n after  %s", before, got)
+	}
+	if st := e.CompactStats(); st.Merges != 0 {
+		t.Errorf("no-op compact counted %d merges", st.Merges)
+	}
+}
+
+func TestSizeTieredCascade(t *testing.T) {
+	e, _, rows := setup(t, "sizetiered[2](orderby[t](Traces))", 50)
+	// Each Compact folds the pending tails into one L1 run; with fanout 2,
+	// every second fold cascades. Drive enough folds to reach level 3.
+	var extra []value.Row
+	for round := 0; round < 4; round++ {
+		extra = append(extra, insertBatches(t, e, 1, 30, 1000+round*1000)...)
+		if err := e.Compact("Traces"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, _ := e.cat.Get("Traces")
+	maxLevel := 0
+	for i, run := range tab.Runs {
+		if run.Level > maxLevel {
+			maxLevel = run.Level
+		}
+		if i > 0 && tab.Runs[i-1].Level < run.Level {
+			t.Fatalf("levels not non-increasing: %+v", tab.Runs)
+		}
+	}
+	if maxLevel < 2 {
+		t.Fatalf("cascade never promoted past level %d: %+v", maxLevel, tab.Runs)
+	}
+	if st := e.CompactStats(); st.Merges == 0 || st.Bytes == 0 {
+		t.Errorf("fold counters not bumped: %+v", st)
+	}
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, drain(t, cur), append(append([]value.Row{}, rows...), extra...))
+}
+
+func TestLeveledKeepsOneRunPerLevel(t *testing.T) {
+	e, _, rows := setup(t, "leveled[4](orderby[t](Traces))", 50)
+	var extra []value.Row
+	for round := 0; round < 6; round++ {
+		extra = append(extra, insertBatches(t, e, 2, 25, 1000+round*1000)...)
+		if err := e.Compact("Traces"); err != nil {
+			t.Fatal(err)
+		}
+		tab, _ := e.cat.Get("Traces")
+		seen := map[int]bool{}
+		for _, run := range tab.Runs {
+			if seen[run.Level] {
+				t.Fatalf("round %d: two runs at level %d: %+v", round, run.Level, tab.Runs)
+			}
+			seen[run.Level] = true
+		}
+	}
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, drain(t, cur), append(append([]value.Row{}, rows...), extra...))
+}
+
+func TestCompactFallsBackToReorganize(t *testing.T) {
+	e, _, rows := setup(t, "orderby[t](Traces)", 100)
+	extra := insertBatches(t, e, 2, 20, 1000)
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	if len(tab.Runs) != 0 || len(tab.Tails) != 0 {
+		t.Fatalf("plain layout should reorganize fully: runs=%d tails=%d",
+			len(tab.Runs), len(tab.Tails))
+	}
+	cur, _ := e.Scan("Traces", ScanOptions{})
+	got := drain(t, cur)
+	sameMultiset(t, got, append(append([]value.Row{}, rows...), extra...))
+	for i := 1; i < len(got); i++ {
+		if got[i][0].Int() < got[i-1][0].Int() {
+			t.Fatal("not ordered after fallback reorganize")
+		}
+	}
+}
+
+func TestCompactOrderedScanResorts(t *testing.T) {
+	// With several per-run sorted parts the stored order no longer matches a
+	// requested global order; the scan must materialize and re-sort.
+	e, _, _ := setup(t, "sizetiered[8](orderby[t](Traces))", 100)
+	insertBatches(t, e, 2, 30, 1000)
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	insertBatches(t, e, 2, 30, 2000)
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	if len(tab.Runs) < 2 {
+		t.Fatalf("want >=2 runs, got %+v", tab.Runs)
+	}
+	cur, err := e.Scan("Traces", ScanOptions{Order: []algebra.OrderKey{{Field: "t"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	if len(got) != 220 {
+		t.Fatalf("rows: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][0].Int() < got[i-1][0].Int() {
+			t.Fatal("ordered scan over runs not globally sorted")
+		}
+	}
+}
+
+func TestCompactDropsIndexesPastMain(t *testing.T) {
+	e, _, _ := setup(t, "sizetiered[4](rows(Traces))", 100)
+	// Index over main only: survives compaction.
+	if err := e.CreateIndex("Traces", "t"); err != nil {
+		t.Fatal(err)
+	}
+	insertBatches(t, e, 2, 20, 1000)
+	// Index covering the tails too: positions past main go stale on fold.
+	if err := e.CreateIndex("Traces", "lat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	var fields []string
+	for _, ix := range tab.Indexes {
+		fields = append(fields, ix.Field)
+	}
+	if len(fields) != 1 || fields[0] != "t" {
+		t.Errorf("surviving indexes: %v (want [t])", fields)
+	}
+}
+
+func TestCompactPersistsAcrossReopen(t *testing.T) {
+	path := ""
+	var want []value.Row
+	{
+		e, f, p := newEngine(t)
+		path = p
+		if err := e.Create("Traces", tracesSchema(), "sizetiered[4](orderby[t](Traces))"); err != nil {
+			t.Fatal(err)
+		}
+		want = traceRows(100)
+		if err := e.Load("Traces", want); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, insertBatches(t, e, 3, 30, 1000)...)
+		if err := e.Compact("Traces"); err != nil {
+			t.Fatal(err)
+		}
+		tab, _ := e.cat.Get("Traces")
+		if len(tab.Runs) == 0 {
+			t.Fatal("no runs before reopen")
+		}
+		if err := e.cat.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	f, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cat, err := catalog.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(f, cat, nil)
+	tab, err := e.cat.Get("Traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Runs) != 1 || tab.Runs[0].Level != 1 || tab.Runs[0].Rows != 90 {
+		t.Fatalf("runs after reopen: %+v", tab.Runs)
+	}
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, drain(t, cur), want)
+}
+
+func TestCompactIntegrityAndEstimate(t *testing.T) {
+	e, _, _ := setup(t, "sizetiered[2](cols(Traces))", 100)
+	insertBatches(t, e, 2, 30, 1000)
+	if err := e.Compact("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.CheckIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("integrity issues over runs: %v", rep.Issues)
+	}
+	est, err := e.EstimateScan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 160 {
+		t.Errorf("estimate rows over runs: %d", est.Rows)
+	}
+}
+
+func TestAutoMergeCompactsPolicyTable(t *testing.T) {
+	e, _, _ := setup(t, "sizetiered[3](orderby[t](Traces))", 60)
+	e.EnableAutoMerge(MergePolicy{MaxTails: 100, Workers: 2})
+	defer e.DisableAutoMerge()
+	want := insertBatches(t, e, 9, 10, 1000)
+	e.WaitMerges()
+	if err := e.MergeErr(); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.cat.Get("Traces")
+	// The policy trigger (>= fanout tails), not MaxTails=100, must have fired.
+	if len(tab.Runs) == 0 {
+		t.Fatalf("background compaction never folded: tails=%d", len(tab.Tails))
+	}
+	if len(tab.Tails) >= 3+3 {
+		t.Errorf("tail backlog kept growing: %d", len(tab.Tails))
+	}
+	cur, err := e.Scan("Traces", ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cur)
+	if len(got) != 60+len(want) {
+		t.Errorf("rows after background folds: %d", len(got))
+	}
+}
+
+func TestMergeWorkerToleratesDroppedTable(t *testing.T) {
+	e, _, _ := setup(t, "sizetiered[2](rows(Traces))", 20)
+	e.EnableAutoMerge(MergePolicy{MaxTails: 100, Workers: 1})
+	defer e.DisableAutoMerge()
+	insertBatches(t, e, 3, 10, 1000)
+	// Drop races the queued background fold; whichever side wins, a vanished
+	// table must not latch a merge error.
+	if err := e.Drop("Traces"); err != nil {
+		t.Fatal(err)
+	}
+	e.WaitMerges()
+	if err := e.MergeErr(); err != nil {
+		t.Errorf("dropped table latched a merge error: %v", err)
+	}
+}
+
+func TestCompactUnknownTable(t *testing.T) {
+	e, _, _ := newEngine(t)
+	err := e.Compact("nope")
+	if err == nil {
+		t.Fatal("want error")
+	}
+}

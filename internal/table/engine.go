@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rodentstore/internal/algebra"
 	"rodentstore/internal/catalog"
@@ -93,6 +94,12 @@ type Engine struct {
 	freeMu        sync.Mutex
 	deferredFrees []pager.Extent // queued, awaiting a checkpoint
 	stagedFrees   []pager.Extent // covered by the in-progress checkpoint
+
+	// Fold counters for leveled-storage tables (see compact.go; Ext-15
+	// reports them as per-merge write amplification).
+	statMerges     atomic.Int64
+	statMergeRows  atomic.Int64
+	statMergeBytes atomic.Int64
 }
 
 // NewEngine creates an engine over an open page file and catalog. lockMgr
@@ -326,6 +333,13 @@ func (e *Engine) freeAll(tab *catalog.Table) error {
 	for _, s := range tab.Segments {
 		if err := e.freeSegment(s.Meta); err != nil {
 			return err
+		}
+	}
+	for _, run := range tab.Runs {
+		for _, s := range run.Segments {
+			if err := e.freeSegment(s.Meta); err != nil {
+				return err
+			}
 		}
 	}
 	for _, batch := range tab.Tails {
@@ -606,7 +620,13 @@ func (e *Engine) publishTail(name, layoutExpr string, st *stagedTail, revalidate
 			tailRows += b[0].Meta.Rows
 		}
 	}
-	pub.mergeNeeded = e.mergeTrigger(len(work.Tails), tailRows)
+	if comp := e.compactionOf(work.LayoutExpr); comp != nil {
+		// Leveled-storage tables trigger their level-0 fold from the
+		// policy's fanout, not the generic tail-count policy.
+		pub.mergeNeeded = e.mergeActive() && len(work.Tails) >= comp.Fanout
+	} else {
+		pub.mergeNeeded = e.mergeTrigger(len(work.Tails), tailRows)
+	}
 	if durable {
 		pub.delta = catalog.EncodeTailAppend(name, batch, st.rows)
 		e.cat.PutBuffered(&work)
@@ -716,7 +736,25 @@ func (e *Engine) reorganizeLocked(tab *catalog.Table) error {
 	if err := e.freeAll(&old); err != nil {
 		return err
 	}
+	e.noteFullMerge(&old, tab)
 	return e.checkpointAfterFlip()
+}
+
+// noteFullMerge counts a full re-render as a fold when it had tails or runs
+// to absorb, so CompactStats reports the O(table) rewrite cost the plain
+// path pays for the same merge schedule a compaction policy handles
+// incrementally (what Ext-15 compares).
+func (e *Engine) noteFullMerge(old, now *catalog.Table) {
+	if len(old.Tails) == 0 && len(old.Runs) == 0 {
+		return
+	}
+	var bytes uint64
+	for _, s := range now.Segments {
+		bytes += s.Meta.UsedBytes
+	}
+	e.statMerges.Add(1)
+	e.statMergeRows.Add(now.RowCount)
+	e.statMergeBytes.Add(int64(bytes))
 }
 
 // renderNarrowed handles reorganization of layouts whose stored schema is a
@@ -733,6 +771,7 @@ func (e *Engine) renderNarrowed(tab *catalog.Table, stored *value.Schema, rows [
 	if err := e.freeAll(old); err != nil {
 		return err
 	}
+	e.noteFullMerge(old, tab)
 	return e.checkpointAfterFlip()
 }
 
@@ -798,6 +837,7 @@ func (e *Engine) renderWithSpec(tab *catalog.Table, schema *value.Schema, rows [
 	}
 
 	tab.Segments = entries
+	tab.Runs = nil // a full render collapses the run hierarchy
 	tab.Tails = nil
 	tab.RowCount = int64(len(rel.Rows))
 	dropIndexes(tab)
@@ -1022,11 +1062,17 @@ func storedSchema(tab *catalog.Table) (*value.Schema, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(tab.Segments) == 0 {
+	entries := tab.Segments
+	if len(entries) == 0 && len(tab.Runs) > 0 {
+		// Never bulk-loaded: the oldest organized run carries the stored
+		// schema (all runs of a table share the layout's segmentation).
+		entries = tab.Runs[0].Segments
+	}
+	if len(entries) == 0 {
 		return logical, nil
 	}
 	var fields []value.Field
-	for _, seg := range tab.Segments {
+	for _, seg := range entries {
 		for _, f := range seg.Fields {
 			i := logical.Index(f)
 			if i >= 0 {

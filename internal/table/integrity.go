@@ -89,6 +89,9 @@ func (e *Engine) CheckIntegrity() (*IntegrityReport, error) {
 				return nil
 			}
 			e.checkEntries(rep, name, "main", tab.Segments, stored)
+			for ri, run := range tab.Runs {
+				e.checkEntries(rep, name, fmt.Sprintf("run[%d]L%d", ri, run.Level), run.Segments, stored)
+			}
 			for ti, batch := range tab.Tails {
 				e.checkEntries(rep, name, fmt.Sprintf("tail[%d]", ti), batch, stored)
 			}

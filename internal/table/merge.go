@@ -1,20 +1,29 @@
 package table
 
-import "sync"
+import (
+	"errors"
+	"sync"
+
+	"rodentstore/internal/catalog"
+)
 
 // Background tail merging (paper §5's "reorganize only new data", run off
 // the ingest path). Insert appends unorganized tail batches; when a table
-// accumulates enough of them the engine's merge worker folds the tails into
-// the main rendering with the same machinery as an explicit Reorganize —
-// the levelled tail-then-merge shape of log-structured stores, amortized in
-// the background so committers never pay for reorganization.
+// accumulates enough of them the engine's merge workers fold the tails —
+// into the main rendering for plain layouts (Engine.Reorganize), or into
+// the run hierarchy for layouts with a compaction policy (Engine.Compact,
+// which folds one level at a time instead of rewriting the table). The
+// worker pool lets compactions of different tables proceed concurrently;
+// per table, the inflight set keeps folds serialized.
 //
-// The worker is opt-in (EnableAutoMerge); without it the synchronous path —
-// calling Reorganize explicitly — is unchanged, which is what the paper
-// experiments use.
+// The pool is opt-in (EnableAutoMerge); without it the synchronous path —
+// calling Reorganize or Compact explicitly — is unchanged, which is what
+// the paper experiments use.
 
-// MergePolicy decides when a table's accumulated tails are folded into the
-// main rendering by the background merge worker.
+// MergePolicy decides when a table's accumulated tails are folded by the
+// background merge workers. Tables whose layout carries a compaction
+// directive ignore the tail thresholds: their level-0 fold triggers at the
+// policy's own fanout.
 type MergePolicy struct {
 	// MaxTails triggers a merge when the table has at least this many tail
 	// batches (0 disables the batch-count trigger).
@@ -22,48 +31,68 @@ type MergePolicy struct {
 	// MaxTailRows triggers a merge when the tails hold at least this many
 	// rows in total (0 disables the row-count trigger).
 	MaxTailRows int64
+	// Workers sizes the background pool (0 = defaultMergeWorkers). More
+	// workers let merges of distinct tables overlap; a single table's
+	// merges always serialize on its exclusive lock.
+	Workers int
 }
 
 // DefaultMergePolicy keeps read amplification bounded without merging on
 // every insert.
 var DefaultMergePolicy = MergePolicy{MaxTails: 8}
 
-// merger is the engine-owned background worker. Tables are enqueued at most
-// once; the worker folds each with Engine.Reorganize (which takes the
-// exclusive table lock, so merges serialize with inserts per table but not
-// across tables).
+// defaultMergeWorkers bounds background fold concurrency when the policy
+// does not: enough to keep a few tables' merges overlapping without
+// competing with query threads for the whole machine.
+const defaultMergeWorkers = 4
+
+// merger is the engine-owned background worker pool. Tables are enqueued at
+// most once; a worker takes the oldest queued table that no other worker is
+// already folding.
 type merger struct {
 	e      *Engine
 	policy MergePolicy
+	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []string
-	queued  map[string]bool
-	pending int // enqueued + in-flight merges (WaitMerges barrier)
-	stopped bool
-	lastErr error
-	done    chan struct{}
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []string
+	queued   map[string]bool
+	inflight map[string]bool
+	pending  int // enqueued + in-flight merges (WaitMerges barrier)
+	stopped  bool
+	lastErr  error
 }
 
-// EnableAutoMerge starts the background tail-merge worker with the given
-// policy (zero-value fields fall back to DefaultMergePolicy). Calling it
-// again replaces the policy, stopping and restarting the worker.
+// EnableAutoMerge starts the background merge pool with the given policy
+// (zero-value trigger fields fall back to DefaultMergePolicy). Calling it
+// again replaces the policy, stopping and restarting the pool.
 func (e *Engine) EnableAutoMerge(p MergePolicy) {
 	if p.MaxTails <= 0 && p.MaxTailRows <= 0 {
+		workers := p.Workers
 		p = DefaultMergePolicy
+		p.Workers = workers
+	}
+	if p.Workers <= 0 {
+		p.Workers = defaultMergeWorkers
 	}
 	e.DisableAutoMerge()
-	m := &merger{e: e, policy: p, queued: make(map[string]bool), done: make(chan struct{})}
+	m := &merger{
+		e: e, policy: p,
+		queued: make(map[string]bool), inflight: make(map[string]bool),
+	}
 	m.cond = sync.NewCond(&m.mu)
 	e.mergeMu.Lock()
 	e.merge = m
 	e.mergeMu.Unlock()
-	go m.run()
+	m.wg.Add(p.Workers)
+	for i := 0; i < p.Workers; i++ {
+		go m.worker()
+	}
 }
 
-// DisableAutoMerge stops the merge worker, draining any queued merges
-// first. No-op when auto merge is off.
+// DisableAutoMerge stops the merge pool, draining any queued merges first.
+// No-op when auto merge is off.
 func (e *Engine) DisableAutoMerge() {
 	e.mergeMu.Lock()
 	m := e.merge
@@ -76,7 +105,7 @@ func (e *Engine) DisableAutoMerge() {
 	m.stopped = true
 	m.cond.Broadcast()
 	m.mu.Unlock()
-	<-m.done
+	m.wg.Wait()
 }
 
 // WaitMerges blocks until every merge enqueued so far has completed. It is
@@ -96,7 +125,8 @@ func (e *Engine) WaitMerges() {
 }
 
 // MergeErr returns the most recent background merge failure, if any.
-// Inserts never fail because a merge did; errors surface here.
+// Inserts never fail because a merge did; errors surface here. A table
+// dropped while queued is not a failure (see worker).
 func (e *Engine) MergeErr() error {
 	e.mergeMu.Lock()
 	m := e.merge
@@ -107,6 +137,13 @@ func (e *Engine) MergeErr() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lastErr
+}
+
+// mergeActive reports whether a background merge pool is running.
+func (e *Engine) mergeActive() bool {
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+	return e.merge != nil
 }
 
 // mergeTrigger reports whether tab's tails exceed the active policy. The
@@ -151,26 +188,45 @@ func (m *merger) enqueue(name string) {
 	m.cond.Broadcast()
 }
 
-func (m *merger) run() {
-	defer close(m.done)
+// takeLocked pops the oldest queued table no other worker is folding and
+// marks it inflight. Caller holds m.mu.
+func (m *merger) takeLocked() (string, bool) {
+	for i, name := range m.queue {
+		if m.inflight[name] {
+			continue
+		}
+		m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		delete(m.queued, name)
+		m.inflight[name] = true
+		return name, true
+	}
+	return "", false
+}
+
+func (m *merger) worker() {
+	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.stopped {
+		name, ok := m.takeLocked()
+		for !ok {
+			if m.stopped && len(m.queue) == 0 {
+				m.mu.Unlock()
+				return
+			}
 			m.cond.Wait()
+			name, ok = m.takeLocked()
 		}
-		if len(m.queue) == 0 {
-			m.mu.Unlock()
-			return // stopped and drained
-		}
-		name := m.queue[0]
-		m.queue = m.queue[1:]
-		delete(m.queued, name)
 		m.mu.Unlock()
 
-		err := m.e.Reorganize(name)
+		// Compact folds leveled-storage tables incrementally and falls back
+		// to a full Reorganize for plain layouts.
+		err := m.e.Compact(name)
 
 		m.mu.Lock()
-		if err != nil {
+		delete(m.inflight, name)
+		if err != nil && !errors.Is(err, catalog.ErrNotFound) {
+			// A table dropped while queued (or mid-dequeue) is a benign
+			// no-op, not a failure worth latching.
 			m.lastErr = err
 		}
 		m.pending--

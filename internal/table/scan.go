@@ -179,9 +179,18 @@ func (e *Engine) Scan(name string, opts ScanOptions) (*Cursor, error) {
 }
 
 // orderMatchesStored reports whether the requested order is a prefix of a
-// stored order and no unordered tail batches exist.
+// stored order and no unordered tail batches exist. Runs are each organized
+// under the layout's sort, but two sorted runs concatenated are not globally
+// sorted — so more than one organized part also re-sorts.
 func (e *Engine) orderMatchesStored(tab *catalog.Table, order []algebra.OrderKey) bool {
 	if len(tab.Tails) > 0 {
+		return false
+	}
+	organized := len(tab.Runs)
+	if len(tab.Segments) > 0 {
+		organized++
+	}
+	if organized > 1 {
 		return false
 	}
 	spec, err := e.compile(tab.LayoutExpr)
@@ -1221,10 +1230,19 @@ func (e *Engine) scanStoredOpts(tab *catalog.Table, fields []string, pred algebr
 		outIdx[i] = decoded.Index(f)
 	}
 
-	// Build parts: main + each tail batch.
+	// Build parts: main rendering, then organized runs (oldest level first —
+	// the catalog keeps Runs in chronological order), then each tail batch.
+	// The concatenation preserves global insert order across the hierarchy.
 	var parts []*part
 	if len(tab.Segments) > 0 {
 		p, err := e.buildPart(tab.Segments, stored, decoded)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	for _, run := range tab.Runs {
+		p, err := e.buildPart(run.Segments, stored, decoded)
 		if err != nil {
 			return nil, err
 		}
@@ -1449,6 +1467,9 @@ func (e *Engine) EstimateScan(name string, opts ScanOptions) (cost.Estimate, err
 		}
 	}
 	addPart(tab.Segments)
+	for _, run := range tab.Runs {
+		addPart(run.Segments)
+	}
 	for _, batch := range tab.Tails {
 		addPart(batch)
 	}
@@ -1464,7 +1485,11 @@ func (e *Engine) EstimateScan(name string, opts ScanOptions) (cost.Estimate, err
 			}
 		}
 	}
-	countSegs(tab.Segments)
+	if len(tab.Segments) > 0 {
+		countSegs(tab.Segments)
+	} else if len(tab.Runs) > 0 {
+		countSegs(tab.Runs[0].Segments)
+	}
 	if nread > 1 && est.Rows > 0 {
 		est.Rows /= int64(nread)
 	}

@@ -1,10 +1,10 @@
 // Package torture is the crash-consistency torture harness: it drives a
-// randomized workload (durable inserts, reorganizations, drops, checkpoints,
-// scans) against a database living on a fault-injecting in-memory file
-// system, and at EVERY write and sync the store issues it simulates a power
-// cut — snapshotting what a crash at that instant would leave on disk,
-// reopening the snapshot through full recovery, and verifying it against a
-// model of committed state.
+// randomized workload (durable inserts, reorganizations, leveled
+// compactions, drops, checkpoints, scans) against a database living on a
+// fault-injecting in-memory file system, and at EVERY write and sync the
+// store issues it simulates a power cut — snapshotting what a crash at that
+// instant would leave on disk, reopening the snapshot through full
+// recovery, and verifying it against a model of committed state.
 //
 // The invariants checked at every kill point:
 //
@@ -14,8 +14,9 @@
 //     whose insert was in flight at the kill point — all of it or none of
 //     it, never a partial batch.
 //   - No divergence: recovered payloads must match the model exactly, and
-//     during reorganizations or drops the recovered catalog must be wholly
-//     old or wholly new.
+//     during reorganizations, compactions or drops the recovered catalog
+//     must be wholly old or wholly new — a power cut mid-compaction must
+//     never lose acknowledged rows or resurface data from freed runs.
 //
 // Between operations the harness also power-cuts the live store itself
 // (cycling drop/keep semantics) and reopens it, verifying an exact match.
@@ -51,7 +52,7 @@ type Config struct {
 
 // Stats counts what a run covered.
 type Stats struct {
-	Ops, Inserts, Reorgs, Checkpoints, Drops, Scans, Crashes int
+	Ops, Inserts, Reorgs, Compacts, Checkpoints, Drops, Scans, Crashes int
 	// KillPoints is how many write/sync points were crash-checked.
 	KillPoints int
 }
@@ -92,6 +93,11 @@ func Run(cfg Config) (Stats, error) {
 		layouts: map[string]string{
 			"alpha": "rows(alpha)",
 			"beta":  "cols(beta)",
+			// gamma keeps a leveled run hierarchy: tiny blocks (chunk[16])
+			// shrink the per-level row targets so tail folds, in-place merges
+			// and level promotions all happen within maxRows — kill points
+			// land inside every phase of a compaction.
+			"gamma": "leveled[2](chunk[16](rows(gamma)))",
 		},
 	}
 	if err := h.setup(); err != nil {
@@ -167,8 +173,10 @@ func (h *harness) loop() error {
 			switch p := h.rng.Intn(100); {
 			case p < 55:
 				err = h.opInsert(name)
-			case p < 70:
+			case p < 68:
 				err = h.opScan(name)
+			case p < 75:
+				err = h.opCompact(name)
 			case p < 80:
 				err = h.opReorganize(name)
 			case p < 88:
@@ -227,6 +235,14 @@ func (h *harness) opScan(name string) error {
 func (h *harness) opReorganize(name string) error {
 	h.stats.Reorgs++
 	return h.db.Reorganize(name)
+}
+
+// opCompact folds the table's tails into its run hierarchy (for gamma's
+// leveled layout) or falls back to a full reorganization (alpha, beta) —
+// both under live kill points, so every write inside a fold is crash-checked.
+func (h *harness) opCompact(name string) error {
+	h.stats.Compacts++
+	return h.db.Compact(name)
 }
 
 func (h *harness) opDrop(name string) error {
